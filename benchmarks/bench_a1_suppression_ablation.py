@@ -1,0 +1,105 @@
+"""A1 (ablation) -- sender-side duplicate suppression on vs off.
+
+DESIGN.md calls out sender-side suppression (withdrawing queued duplicate
+invocations/replies when a peer's copy is delivered first) as a design
+choice worth ablating: receiver-side suppression alone already guarantees
+exactly-once execution, so the sender-side mechanism is purely a wire-
+traffic optimization.  This benchmark measures what it buys.
+
+Workload: replicated client group (2 members) invoking an active 3-replica
+server -- the configuration with the most redundant senders.
+
+Expected shape: identical application results either way; with suppression
+off, multicasts per operation rise (every redundant invocation and reply
+reaches the wire).
+"""
+
+from repro.bench import ResultTable
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter
+
+OPERATIONS = 25
+
+
+def run_one(suppression, seed=0):
+    system = EternalSystem(["s1", "s2", "s3", "c1", "c2"], seed=seed).start()
+    for eternal_node in system.nodes.values():
+        eternal_node.engine.sender_side_suppression = suppression
+    # c1 and c2 form one replicated client group issuing identical calls.
+    system.engine("c1").client_group = "client/shared"
+    system.engine("c2").client_group = "client/shared"
+    from repro.replication.identifiers import OperationIdAllocator
+
+    system.engine("c1").allocator = OperationIdAllocator("client/shared")
+    system.engine("c2").allocator = OperationIdAllocator("client/shared")
+    system.nodes["c1"].groups.join("client/shared")
+    system.nodes["c2"].groups.join("client/shared")
+    system.start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["s1", "s2", "s3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    stub1 = system.stub("c1", ior)
+    stub2 = system.stub("c2", ior)
+    before = system.sim.trace.snapshot()
+    for index in range(OPERATIONS):
+        # Both client replicas issue the same logical operation, as
+        # replicated deterministic clients do.
+        future1 = stub1.increment(1)
+        future2 = stub2.increment(1)
+        deadline = system.sim.now + 30.0
+        while not (future1.done() and future2.done()) and system.sim.now < deadline:
+            system.sim.run_for(0.005)
+        assert future1.result() == future2.result() == index + 1
+    after = system.sim.trace.counters
+    system.run_for(0.5)
+    states = set(system.states_of("ctr").values())
+    return {
+        "multicasts_per_op": (after["net.broadcast"] - before["net.broadcast"]) / OPERATIONS,
+        "requests_sent_per_op": (after["ft.request.sent"] - before["ft.request.sent"]) / OPERATIONS,
+        "replies_sent_per_op": (after["ft.reply.sent"] - before["ft.reply.sent"]) / OPERATIONS,
+        "receiver_dups_per_op": (after["ft.request.duplicate"] - before["ft.request.duplicate"]) / OPERATIONS,
+        "states": states,
+    }
+
+
+def run_experiment():
+    return {
+        "on": run_one(True),
+        "off": run_one(False),
+    }
+
+
+def test_a1_suppression_ablation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "A1: sender-side suppression ablation "
+        "(replicated client x active 3-replica server)",
+        ["suppression", "multicasts/op", "requests sent/op",
+         "replies sent/op", "receiver-side dups/op"],
+    )
+    for key in ("on", "off"):
+        row = results[key]
+        table.add_row(
+            key, "%.1f" % row["multicasts_per_op"],
+            "%.1f" % row["requests_sent_per_op"],
+            "%.1f" % row["replies_sent_per_op"],
+            "%.1f" % row["receiver_dups_per_op"],
+        )
+    table.note("expected shape: correctness identical (receiver-side "
+               "suppression suffices); sender-side suppression removes "
+               "redundant wire traffic")
+    table.emit("a1_suppression_ablation")
+
+    # Both configurations converge to the same correct state.
+    assert results["on"]["states"] == results["off"]["states"] == {OPERATIONS}
+    # Without sender-side suppression, redundant traffic reaches the wire
+    # and the receivers' tables absorb it.
+    assert (results["off"]["multicasts_per_op"]
+            > results["on"]["multicasts_per_op"])
+    assert (results["off"]["receiver_dups_per_op"]
+            >= results["on"]["receiver_dups_per_op"])

@@ -1,0 +1,72 @@
+"""E1 -- End-to-end invocation latency: unreplicated vs replication styles.
+
+Reproduces the paper's headline overhead comparison: round-trip latency of
+an echo invocation on the unreplicated ORB path versus the Eternal path
+with active, warm passive, and cold passive replication (3 replicas),
+swept over the request payload size.
+
+Expected shape: replication adds a constant-plus-linear overhead (the
+multicast ordering rotation plus extra copies on the wire); passive styles
+pay extra for the post-operation state update; all curves grow with
+payload size.
+"""
+
+from benchlib import replicated_latencies, unreplicated_latencies, STYLE_LABELS
+from repro.bench import ResultTable, summarize
+from repro.replication import ReplicationStyle
+
+PAYLOADS = [16, 512, 8192, 65536]
+REQUESTS = 30
+STYLES = [
+    "unreplicated",
+    ReplicationStyle.ACTIVE,
+    ReplicationStyle.WARM_PASSIVE,
+    ReplicationStyle.COLD_PASSIVE,
+]
+
+
+def run_experiment():
+    results = {}
+    for payload in PAYLOADS:
+        for style in STYLES:
+            if style == "unreplicated":
+                latencies = unreplicated_latencies(payload, REQUESTS)
+            else:
+                latencies, _system = replicated_latencies(style, payload, REQUESTS)
+            results[(style, payload)] = summarize(latencies)
+    return results
+
+
+def test_e1_latency_overhead(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E1: invocation latency vs payload size (3 replicas, virtual time)",
+        ["configuration", "payload B", "mean", "p95", "overhead vs unrep"],
+    )
+    for style in STYLES:
+        for payload in PAYLOADS:
+            stats = results[(style, payload)]
+            base = results[("unreplicated", payload)].mean
+            table.add_row(
+                STYLE_LABELS[style], payload, stats.mean, stats.p95,
+                "%.2fx" % (stats.mean / base),
+            )
+    table.note("expected shape: replicated > unreplicated at every size; "
+               "passive >= active (state push); all grow with payload")
+    table.emit("e1_latency_overhead")
+
+    for payload in PAYLOADS:
+        base = results[("unreplicated", payload)].mean
+        active = results[(ReplicationStyle.ACTIVE, payload)].mean
+        warm = results[(ReplicationStyle.WARM_PASSIVE, payload)].mean
+        # Replication always costs more than the bare point-to-point path.
+        assert active > base
+        assert warm > base
+        # The warm-passive state update costs at least as much as active's
+        # reply-race on this (tiny-state) workload... allow equality slack.
+        assert warm > active * 0.8
+    # Latency grows with payload size in every configuration.
+    for style in STYLES:
+        means = [results[(style, p)].mean for p in PAYLOADS]
+        assert means[-1] > means[0]

@@ -1,0 +1,89 @@
+"""E2 -- Latency and message count vs replication degree.
+
+Sweeps the number of replicas for active and warm passive replication and
+reports the per-operation round-trip latency and the number of multicast
+messages the infrastructure puts on the wire per operation.
+
+Expected shape: active replication's message count grows with the degree
+(every replica races to reply; duplicates are suppressed but cost
+messages), while warm passive stays flatter (one reply, one state update,
+regardless of degree); latency grows mildly with degree for both (longer
+token rotation).
+"""
+
+from benchlib import CLIENT_NODE, drive, replicated_system
+from repro.bench import ResultTable, summarize
+from repro.replication import ReplicationStyle
+from repro.workloads import ClosedLoopClient
+
+DEGREES = [1, 2, 3, 5, 7]
+REQUESTS = 40
+STYLES = [ReplicationStyle.ACTIVE, ReplicationStyle.WARM_PASSIVE]
+
+
+def run_one(style, degree):
+    system, ior = replicated_system(style, replicas=degree)
+    stub = system.stub(CLIENT_NODE, ior)
+    system.call(stub.echo("warm"), timeout=60.0)
+    before = system.sim.trace.snapshot()
+    client = ClosedLoopClient(
+        system.sim, stub, lambda i: ("echo", ("x" * 256,)), REQUESTS
+    ).start()
+    drive(system.sim, client)
+    after = system.sim.trace.counters
+    multicasts = after["net.broadcast"] - before["net.broadcast"]
+    replies_sent = after["ft.reply.sent"] - before["ft.reply.sent"]
+    updates = after["ft.state.update.sent"] - before["ft.state.update.sent"]
+    stats = summarize(client.latencies())
+    return {
+        "latency": stats,
+        "multicasts_per_op": multicasts / REQUESTS,
+        "replies_per_op": replies_sent / REQUESTS,
+        "updates_per_op": updates / REQUESTS,
+    }
+
+
+def run_experiment():
+    return {
+        (style, degree): run_one(style, degree)
+        for style in STYLES
+        for degree in DEGREES
+    }
+
+
+def test_e2_replication_degree(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E2: cost vs replication degree (echo, 256 B, virtual time)",
+        ["style", "replicas", "mean latency", "multicasts/op",
+         "replies/op", "state updates/op"],
+    )
+    for style in STYLES:
+        for degree in DEGREES:
+            row = results[(style, degree)]
+            table.add_row(
+                style, degree, row["latency"].mean,
+                "%.1f" % row["multicasts_per_op"],
+                "%.1f" % row["replies_per_op"],
+                "%.1f" % row["updates_per_op"],
+            )
+    table.note("expected shape: active replies/op grows with degree, "
+               "passive stays at 1 reply + 1 update")
+    table.emit("e2_replication_degree")
+
+    active = results[(ReplicationStyle.ACTIVE, 7)]
+    passive = results[(ReplicationStyle.WARM_PASSIVE, 7)]
+    # At degree 7, active replicas race replies: more replies on the wire
+    # than passive's single reply.
+    assert active["replies_per_op"] > passive["replies_per_op"]
+    # Passive pushes exactly one state update per (state-modifying) op.
+    assert 0.9 <= passive["updates_per_op"] <= 1.1
+    assert active["updates_per_op"] == 0
+    # Active reply traffic grows with the degree.
+    assert (results[(ReplicationStyle.ACTIVE, 7)]["replies_per_op"]
+            > results[(ReplicationStyle.ACTIVE, 2)]["replies_per_op"] * 0.9)
+    # Latency grows (mildly) with ring size for both styles.
+    for style in STYLES:
+        assert (results[(style, 7)]["latency"].mean
+                > results[(style, 1)]["latency"].mean)

@@ -1,0 +1,110 @@
+"""E3 -- Totem total-order protocol: throughput and latency vs ring size.
+
+Measures the raw group-communication substrate (no ORB, no replication):
+each ring member queues a batch of messages; we record the virtual time to
+deliver all of them everywhere (throughput) and the mean send-to-delivery
+latency (ordering latency, dominated by the token rotation time).
+
+Expected shape: per-message ordering latency grows roughly linearly with
+ring size (token rotation visits every member); aggregate throughput
+degrades gently as the ring grows; larger messages lower message
+throughput (serialization) while raising byte throughput.
+"""
+
+from benchlib import drive  # noqa: F401  (re-exported style consistency)
+from repro.bench import ResultTable, summarize
+from repro.totem import TotemCluster
+
+RING_SIZES = [2, 3, 5, 8]
+MESSAGES_PER_NODE = 100
+SIZES = [64, 1024]
+
+
+def run_one(ring_size, message_size):
+    node_ids = ["n%d" % (i + 1) for i in range(ring_size)]
+    cluster = TotemCluster(node_ids).start()
+    cluster.run_until_stable(timeout=5.0)
+    sim = cluster.sim
+    start = sim.now
+    for node_id in node_ids:
+        processor = cluster.processors[node_id]
+        for index in range(MESSAGES_PER_NODE):
+            processor.send((node_id, index, sim.now), size=message_size)
+    total = ring_size * MESSAGES_PER_NODE
+
+    def app_deliveries(node):
+        return [
+            d for d in cluster.deliveries[node]
+            if not (isinstance(d.payload, tuple) and d.payload
+                    and d.payload[0] == "announce")
+        ]
+
+    deadline = sim.now + 60.0
+    while sim.now < deadline:
+        if all(len(app_deliveries(n)) >= total for n in node_ids):
+            break
+        sim.run_for(0.05)
+    observer = node_ids[0]
+    deliveries = app_deliveries(observer)
+    assert len(deliveries) == total, "not all messages delivered"
+    finish = sim.now
+    # Send timestamps ride in the payloads; delivery times come from the
+    # trace-free approach of sampling at completion, so approximate the
+    # per-message latency by (delivery sweep position). Instead, replay:
+    latencies = []
+    elapsed = finish - start
+    throughput = total / elapsed
+    # Ordering latency: measure directly with a second, instrumented batch.
+    probe_latencies = []
+    for _ in range(20):
+        sent_at = sim.now
+        cluster.processors[observer].send(("probe", sent_at), size=message_size)
+        before = len(app_deliveries(observer))
+        while len(app_deliveries(observer)) <= before:
+            sim.run_for(0.0005)
+        probe_latencies.append(sim.now - sent_at)
+    return {
+        "throughput": throughput,
+        "elapsed": elapsed,
+        "latency": summarize(probe_latencies),
+        "bytes_per_sec": throughput * message_size,
+    }
+
+
+def run_experiment():
+    return {
+        (ring, size): run_one(ring, size)
+        for ring in RING_SIZES
+        for size in SIZES
+    }
+
+
+def test_e3_totem_throughput(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E3: Totem ordering protocol vs ring size (virtual time)",
+        ["ring size", "msg bytes", "msgs/s", "MB/s", "mean order latency"],
+    )
+    for ring in RING_SIZES:
+        for size in SIZES:
+            row = results[(ring, size)]
+            table.add_row(
+                ring, size,
+                "%.0f" % row["throughput"],
+                "%.2f" % (row["bytes_per_sec"] / 1e6),
+                row["latency"].mean,
+            )
+    table.note("expected shape: ordering latency grows ~linearly with ring "
+               "size (token rotation); throughput degrades gently")
+    table.emit("e3_totem_throughput")
+
+    for size in SIZES:
+        lat = [results[(ring, size)]["latency"].mean for ring in RING_SIZES]
+        # Latency increases with ring size...
+        assert lat[-1] > lat[0]
+        # ...and roughly linearly: the 8-ring is not 10x the 2-ring.
+        assert lat[-1] < lat[0] * 12
+    # Bigger messages lower message throughput but raise byte throughput.
+    assert (results[(3, 1024)]["bytes_per_sec"]
+            > results[(3, 64)]["bytes_per_sec"])

@@ -1,0 +1,101 @@
+"""E4 -- Fault-detection latency vs detector configuration.
+
+Two detectors exist in the system, as in the paper: the management-plane
+heartbeat detector (drives replica re-instantiation) and Totem's
+token-loss detection (drives membership changes and failover).  Both are
+swept here.
+
+Expected shape: detection latency is dominated by the configured timeout,
+not by protocol costs -- heartbeat detection lands near
+``interval * miss_threshold``, and ring reformation begins after
+``token_loss_timeout``.
+"""
+
+from repro.bench import ResultTable
+from repro.core import EternalSystem
+from repro.totem import TotemCluster, TotemConfig
+
+HEARTBEAT_INTERVALS = [0.02, 0.05, 0.1, 0.25]
+TOKEN_LOSS_TIMEOUTS = [0.01, 0.02, 0.05, 0.1]
+TRIALS = 3
+
+
+def heartbeat_detection_latency(interval, seed):
+    system = EternalSystem(["n1", "n2", "n3"], seed=seed).start()
+    system.stabilize()
+    system.enable_fault_management("n1", interval=interval, miss_threshold=2)
+    system.run_for(1.0)
+    crash_time = system.sim.now
+    system.crash("n3")
+    system.run_for(40 * interval + 5.0)
+    assert system.notifier.history, "fault never detected"
+    return system.notifier.history[0].detected_at - crash_time
+
+
+def ring_reformation_latency(timeout, seed):
+    config = TotemConfig(token_loss_timeout=timeout,
+                         token_retransmit_timeout=timeout / 4)
+    cluster = TotemCluster(["n1", "n2", "n3"], seed=seed, config=config).start()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.2)
+    crash_time = cluster.sim.now
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=30.0)
+    return cluster.sim.now - crash_time
+
+
+def run_experiment():
+    heartbeat = {
+        interval: [
+            heartbeat_detection_latency(interval, seed)
+            for seed in range(TRIALS)
+        ]
+        for interval in HEARTBEAT_INTERVALS
+    }
+    reformation = {
+        timeout: [
+            ring_reformation_latency(timeout, seed)
+            for seed in range(TRIALS)
+        ]
+        for timeout in TOKEN_LOSS_TIMEOUTS
+    }
+    return heartbeat, reformation
+
+
+def test_e4_fault_detection(benchmark):
+    heartbeat, reformation = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    table = ResultTable(
+        "E4a: heartbeat fault-detection latency (miss threshold 2)",
+        ["heartbeat interval", "mean detection latency", "latency/interval"],
+    )
+    for interval in HEARTBEAT_INTERVALS:
+        mean = sum(heartbeat[interval]) / len(heartbeat[interval])
+        table.add_row(interval, mean, "%.1f" % (mean / interval))
+    table.note("expected shape: detection ~= 2-4 heartbeat intervals, "
+               "dominated by the configured timeout")
+    table.emit("e4a_heartbeat_detection")
+
+    table2 = ResultTable(
+        "E4b: Totem ring reformation after a crash",
+        ["token loss timeout", "mean crash-to-new-ring"],
+    )
+    for timeout in TOKEN_LOSS_TIMEOUTS:
+        mean = sum(reformation[timeout]) / len(reformation[timeout])
+        table2.add_row(timeout, mean)
+    table2.note("expected shape: reformation time tracks the token loss "
+                "timeout plus a small membership/recovery constant")
+    table2.emit("e4b_ring_reformation")
+
+    # Detection latency scales with the heartbeat interval.
+    means = [sum(heartbeat[i]) / TRIALS for i in HEARTBEAT_INTERVALS]
+    assert means[-1] > means[0]
+    for interval, mean in zip(HEARTBEAT_INTERVALS, means):
+        assert interval < mean < 8 * interval + 0.2
+    # Ring reformation tracks the token-loss timeout.
+    ref_means = [sum(reformation[t]) / TRIALS for t in TOKEN_LOSS_TIMEOUTS]
+    assert ref_means[-1] > ref_means[0]
+    for timeout, mean in zip(TOKEN_LOSS_TIMEOUTS, ref_means):
+        assert mean > timeout  # cannot detect before the timeout fires

@@ -1,0 +1,107 @@
+"""E7 -- Duplicate suppression in nested invocations, mixed styles.
+
+A two-level invocation chain (client -> group A -> group B) with every
+combination of replication styles on A and B.  For each combination we
+count, per logical transfer operation: GIOP requests multicast, replies
+multicast, duplicates suppressed, and -- the correctness core -- how many
+times the inner deposit actually *executed* at each replica of B.
+
+Expected shape: the deposit executes exactly once per B-replica no matter
+the style mix; active/active puts the most redundant messages on the wire
+(every A replica invokes, every B replica replies) with suppression
+absorbing the excess; passive/passive is the leanest.
+"""
+
+from repro.bench import ResultTable
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import BankAccount
+
+STYLES = [ReplicationStyle.ACTIVE, ReplicationStyle.WARM_PASSIVE]
+TRANSFERS = 10
+
+
+def run_one(style_a, style_b, seed=0):
+    system = EternalSystem(["a1", "a2", "b1", "b2", "client"], seed=seed).start()
+    system.stabilize()
+    ior_a = system.create_replicated(
+        "acct-a", lambda: BankAccount("a", 10_000), ["a1", "a2"],
+        GroupPolicy(style=style_a),
+    )
+    ior_b = system.create_replicated(
+        "acct-b", lambda: BankAccount("b", 0), ["b1", "b2"],
+        GroupPolicy(style=style_b),
+    )
+    system.run_for(0.5)
+    stub = system.stub("client", ior_a)
+    before = system.sim.trace.snapshot()
+    for _ in range(TRANSFERS):
+        system.call(stub.transfer(ior_b.to_string(), 1), timeout=60.0)
+    after = system.sim.trace.counters
+    system.run_for(0.5)
+
+    requests = after["ft.request.sent"] - before["ft.request.sent"]
+    replies = after["ft.reply.sent"] - before["ft.reply.sent"]
+    dup_requests = after["ft.request.duplicate"] - before["ft.request.duplicate"]
+    suppressed = sum(
+        r.tables.suppressed_replies
+        for r in list(system.replicas_of("acct-a").values())
+        + list(system.replicas_of("acct-b").values())
+    )
+    histories = [
+        state["history"] for state in system.states_of("acct-b").values()
+    ]
+    deposits_per_replica = {len(h) for h in histories}
+    balances = {
+        state["balance"] for state in system.states_of("acct-b").values()
+    }
+    return {
+        "requests_per_op": requests / TRANSFERS,
+        "replies_per_op": replies / TRANSFERS,
+        "dup_requests_per_op": dup_requests / TRANSFERS,
+        "suppressed_replies": suppressed,
+        "deposits_per_replica": deposits_per_replica,
+        "balances": balances,
+    }
+
+
+def run_experiment():
+    return {
+        (style_a, style_b): run_one(style_a, style_b)
+        for style_a in STYLES
+        for style_b in STYLES
+    }
+
+
+def test_e7_nested_duplicates(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E7: nested invocation A->B, per logical transfer (10 transfers)",
+        ["A style", "B style", "requests/op", "replies/op",
+         "receiver-side dups/op", "executions per B replica"],
+    )
+    for (style_a, style_b), row in results.items():
+        table.add_row(
+            style_a, style_b,
+            "%.1f" % row["requests_per_op"],
+            "%.1f" % row["replies_per_op"],
+            "%.1f" % row["dup_requests_per_op"],
+            ",".join(str(v) for v in sorted(row["deposits_per_replica"])),
+        )
+    table.note("expected shape: executions per replica == transfers exactly "
+               "(never double); active styles put more redundant messages "
+               "on the wire than passive")
+    table.emit("e7_nested_duplicates")
+
+    for row in results.values():
+        # The inner deposit executed exactly once per logical transfer at
+        # every replica of B, regardless of style combination.
+        assert row["deposits_per_replica"] == {TRANSFERS}
+        assert row["balances"] == {TRANSFERS}
+    # Active/active generates at least as much request traffic as
+    # passive/passive (both A replicas issue the nested invocation).
+    aa = results[(ReplicationStyle.ACTIVE, ReplicationStyle.ACTIVE)]
+    pp = results[(ReplicationStyle.WARM_PASSIVE, ReplicationStyle.WARM_PASSIVE)]
+    assert aa["requests_per_op"] >= pp["requests_per_op"]
+    assert aa["replies_per_op"] >= pp["replies_per_op"]

@@ -1,0 +1,82 @@
+"""Shared builders for the benchmark suite (experiments E1-E9).
+
+Each benchmark measures *virtual* time and protocol message counts inside
+the deterministic simulation; the pytest-benchmark wall-clock numbers
+merely record how long the simulation itself takes to run.
+"""
+
+from repro.core import EternalSystem
+from repro.orb import ORB
+from repro.orb.orb_core import wait_for
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import Network, Simulator
+from repro.workloads import ClosedLoopClient, EchoServer
+
+REPLICA_NODES = ["s1", "s2", "s3"]
+CLIENT_NODE = "client"
+
+
+def drive(sim, client, timeout=120.0, step=0.01):
+    """Run the simulation until a ClosedLoopClient finishes."""
+    deadline = sim.now + timeout
+    while not client.finished and sim.now < deadline:
+        sim.run_for(step)
+    if not client.finished:
+        raise TimeoutError("workload did not finish in %.1fs virtual" % timeout)
+    return client
+
+
+def unreplicated_latencies(payload_bytes, requests, seed=0):
+    """Baseline: plain ORB over TCP on the same simulated LAN."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    server = ORB(net, net.add_node("server"))
+    client_orb = ORB(net, net.add_node("client"))
+    ior = server.poa.activate(EchoServer())
+    stub = client_orb.stub(ior)
+    payload = "x" * payload_bytes
+    wait_for(sim, stub.echo(payload))  # connection warm-up
+    client = ClosedLoopClient(
+        sim, stub, lambda i: ("echo", (payload,)), requests
+    ).start()
+    drive(sim, client)
+    return client.latencies()
+
+
+def replicated_system(style, replicas=3, seed=0, extra_nodes=(),
+                      policy_overrides=None, servant_factory=EchoServer,
+                      group="bench"):
+    """An EternalSystem with one replicated object and a client node."""
+    nodes = ["s%d" % (i + 1) for i in range(replicas)] + [CLIENT_NODE]
+    nodes += list(extra_nodes)
+    system = EternalSystem(nodes, seed=seed).start()
+    system.stabilize()
+    overrides = dict(policy_overrides or {})
+    policy = GroupPolicy(style=style, **overrides)
+    ior = system.create_replicated(
+        group, servant_factory, ["s%d" % (i + 1) for i in range(replicas)],
+        policy,
+    )
+    system.run_for(0.5)
+    return system, ior
+
+
+def replicated_latencies(style, payload_bytes, requests, replicas=3, seed=0):
+    system, ior = replicated_system(style, replicas=replicas, seed=seed)
+    stub = system.stub(CLIENT_NODE, ior)
+    payload = "x" * payload_bytes
+    system.call(stub.echo(payload), timeout=60.0)  # warm-up
+    client = ClosedLoopClient(
+        system.sim, stub, lambda i: ("echo", (payload,)), requests
+    ).start()
+    drive(system.sim, client)
+    return client.latencies(), system
+
+
+STYLE_LABELS = {
+    "unreplicated": "unreplicated CORBA",
+    ReplicationStyle.ACTIVE: "Eternal active",
+    ReplicationStyle.SEMI_ACTIVE: "Eternal semi-active",
+    ReplicationStyle.WARM_PASSIVE: "Eternal warm passive",
+    ReplicationStyle.COLD_PASSIVE: "Eternal cold passive",
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: a replicated counter that survives replica crashes.
+
+Builds a three-node cluster running the full Eternal-style stack (Totem
+total-order multicast, mini-CORBA ORB, replication engine), replicates a
+Counter actively across all three nodes, invokes it through a perfectly
+ordinary CORBA stub, crashes a replica mid-workload, and shows that the
+client never notices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter
+
+
+def main():
+    print("Booting a 3-node cluster...")
+    system = EternalSystem(["alpha", "beta", "gamma"]).start()
+    system.stabilize()
+    ring = system.nodes["alpha"].processor.installed_ring
+    print("  Totem ring installed: %s" % list(ring.members))
+
+    print("\nCreating an actively replicated Counter on all three nodes...")
+    ior = system.create_replicated(
+        "demo-counter",
+        Counter,
+        ["alpha", "beta", "gamma"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)  # let group views propagate
+    print("  Group IOR: %s..." % ior.to_string()[:60])
+
+    print("\nInvoking through a standard stub (application code is plain CORBA):")
+    stub = system.stub("alpha", ior)
+    for amount in (5, 3, 2):
+        result = system.call(stub.increment(amount))
+        print("  increment(%d) -> %d   [virtual t=%.4fs]"
+              % (amount, result, system.sim.now))
+
+    print("\nReplica states (every replica executed every operation):")
+    for node, state in sorted(system.states_of("demo-counter").items()):
+        print("  %-6s value=%d" % (node, state))
+
+    print("\nCrashing replica 'gamma' ...")
+    system.crash("gamma")
+    system.stabilize()
+    print("  New ring: %s"
+          % list(system.nodes["alpha"].processor.installed_ring.members))
+
+    print("\nThe client keeps working, unaware of the fault:")
+    result = system.call(stub.increment(10))
+    print("  increment(10) -> %d" % result)
+    print("  read()        -> %d" % system.call(stub.read()))
+
+    print("\nSurvivor states:")
+    for node, state in sorted(system.states_of("demo-counter").items()):
+        print("  %-6s value=%d" % (node, state))
+
+    suppression = system.engine("alpha").stats()["demo-counter"]
+    print("\nDuplicate suppression at alpha's replica: "
+          "%d redundant requests, %d redundant replies suppressed"
+          % (suppression["suppressed_requests"],
+             suppression["suppressed_replies"]))
+    print("\nDone: %.2f virtual seconds simulated." % system.sim.now)
+
+
+if __name__ == "__main__":
+    main()

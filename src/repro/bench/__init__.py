@@ -1,0 +1,11 @@
+"""Benchmark support: statistics and table rendering.
+
+Every experiment in EXPERIMENTS.md regenerates its table/series through
+these helpers so the benchmark output matches the documented format and
+is also written under ``benchmarks/results/`` for inspection.
+"""
+
+from repro.bench.metrics import LatencyStats, summarize
+from repro.bench.harness import ResultTable, results_dir
+
+__all__ = ["LatencyStats", "summarize", "ResultTable", "results_dir"]

@@ -1,0 +1,77 @@
+"""Result tables: rendered to stdout and persisted under benchmarks/results."""
+
+import os
+
+
+def results_dir():
+    """The directory benchmark tables are written to (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+class ResultTable:
+    """A fixed-column result table in the style of the paper's tables."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+        self.notes = []
+
+    def add_row(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self.columns), len(values))
+            )
+        self.rows.append([_format(v) for v in values])
+        return self
+
+    def note(self, text):
+        self.notes.append(text)
+        return self
+
+    def render(self):
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = " | ".join(
+            self.columns[i].ljust(widths[i]) for i in range(len(self.columns))
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(
+                row[i].ljust(widths[i]) for i in range(len(self.columns))
+            ))
+        for note in self.notes:
+            lines.append("note: %s" % note)
+        return "\n".join(lines)
+
+    def emit(self, name):
+        """Print the table and persist it as benchmarks/results/<name>.txt."""
+        text = self.render()
+        print()
+        print(text)
+        path = os.path.join(results_dir(), "%s.txt" % name)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return text
+
+
+def _format(value):
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return "%.1f us" % (value * 1e6) if 1e-7 < abs(value) else "%.3g" % value
+        if abs(value) < 1.0:
+            return "%.3f ms" % (value * 1e3)
+        return "%.4g" % value
+    return str(value)

@@ -1,0 +1,11 @@
+"""Public facade: assemble and drive a fault-tolerant CORBA system.
+
+:class:`EternalSystem` builds, per node, the full stack -- Totem
+processor, process-group endpoint, mini-ORB, replication engine -- plus a
+domain-wide ReplicationManager, and provides the helpers examples, tests,
+and benchmarks use to create replicated objects and invoke them.
+"""
+
+from repro.core.eternal import EternalNode, EternalSystem
+
+__all__ = ["EternalNode", "EternalSystem"]

@@ -1,0 +1,229 @@
+"""The EternalSystem facade.
+
+Builds a cluster where every node runs the complete stack and exposes the
+operations a user of the system performs: create replicated objects,
+obtain stubs, invoke operations, inject faults, and inspect outcomes.
+
+Typical use (see examples/quickstart.py)::
+
+    system = EternalSystem(["n1", "n2", "n3"]).start()
+    ior = system.create_replicated(
+        "counter", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    stub = system.stub("n1", ior)
+    assert system.call(stub.increment(5)) == 5
+"""
+
+from repro.orb.orb_core import ORB, wait_for
+from repro.replication.engine import ReplicationEngine
+from repro.replication.manager import ReplicationManager
+from repro.simnet import LinkProfile, Network, Simulator
+from repro.totem.config import TotemConfig
+from repro.totem.process_groups import GroupMember
+from repro.totem.processor import TotemProcessor
+
+
+class EternalNode:
+    """The full per-node stack."""
+
+    def __init__(self, system, node_id):
+        self.system = system
+        self.node = system.net.add_node(node_id)
+        self.processor = TotemProcessor(
+            system.net, self.node, config=system.totem_config
+        )
+        self.groups = GroupMember(self.processor)
+        self.orb = ORB(system.net, self.node)
+        self.engine = ReplicationEngine(
+            self.orb, self.groups, domain=system.domain
+        )
+
+    @property
+    def node_id(self):
+        return self.node.node_id
+
+    def __repr__(self):
+        return "EternalNode(%s)" % self.node_id
+
+
+class EternalSystem:
+    """A simulated cluster running the fault-tolerant CORBA stack."""
+
+    def __init__(self, node_ids, seed=0, profile=None, totem_config=None,
+                 domain="ft-domain"):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim, profile=profile or LinkProfile())
+        self.totem_config = totem_config or TotemConfig()
+        self.domain = domain
+        self.manager = ReplicationManager(domain)
+        self.nodes = {}
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id):
+        """Add a node running the full stack (before or after start)."""
+        eternal_node = EternalNode(self, node_id)
+        self.nodes[node_id] = eternal_node
+        self.manager.register_engine(eternal_node.engine)
+        return eternal_node
+
+    def node(self, node_id):
+        return self.nodes[node_id]
+
+    def engine(self, node_id):
+        return self.nodes[node_id].engine
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Boot every node's group-communication endpoint."""
+        for eternal_node in self.nodes.values():
+            eternal_node.processor.start()
+        return self
+
+    def run_for(self, duration):
+        self.sim.run_for(duration)
+        return self
+
+    def stabilize(self, timeout=5.0, settle=0.2):
+        """Run until all live nodes share rings per component, plus settle.
+
+        ``settle`` gives group announces time to propagate after the ring
+        installs, so object-group views are in place.
+        """
+        deadline = self.sim.now + timeout
+        step = 0.005
+        while self.sim.now < deadline:
+            if self._rings_stable():
+                break
+            self.sim.run_for(min(step, deadline - self.sim.now))
+        if not self._rings_stable():
+            raise TimeoutError(
+                "rings did not stabilize: %s"
+                % {n.node_id: n.processor.state for n in self.nodes.values()}
+            )
+        self.sim.run_for(settle)
+        return self
+
+    def _rings_stable(self):
+        for eternal_node in self.nodes.values():
+            if not eternal_node.node.alive:
+                continue
+            ring = eternal_node.processor.installed_ring
+            if ring is None:
+                return False
+            expected = [
+                node_id
+                for node_id in self.net.component_of(eternal_node.node_id)
+                if self.net.node(node_id).alive and node_id in self.nodes
+            ]
+            if list(ring.members) != expected:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Replicated objects
+    # ------------------------------------------------------------------
+
+    def create_replicated(self, group, factory, locations, policy=None):
+        """Create a replicated object; returns its group IOR."""
+        return self.manager.create_object(group, factory, locations, policy)
+
+    def stub(self, node_id, ior, interface=None):
+        """A client stub bound to a node's ORB."""
+        return self.nodes[node_id].orb.stub(ior, interface)
+
+    def call(self, future, timeout=30.0):
+        """Drive the simulation until the invocation completes."""
+        return wait_for(self.sim, future, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Fault management plane
+    # ------------------------------------------------------------------
+
+    def enable_fault_management(self, detector_node, interval=0.1,
+                                timeout=None, miss_threshold=2, spares=()):
+        """Wire up heartbeat detection, notification, and recovery.
+
+        Every node exposes a PullMonitorable; ``detector_node`` runs a
+        heartbeat detector over all the others; faults flow through a
+        FaultNotifier to a RecoveryCoordinator that restores replication
+        degrees on the given spare nodes.  Returns (detector, notifier,
+        coordinator).
+        """
+        from repro.faultdetect import (
+            FaultNotifier,
+            HeartbeatFaultDetector,
+            PullMonitorable,
+            RecoveryCoordinator,
+        )
+
+        notifier = FaultNotifier(self.sim)
+        coordinator = RecoveryCoordinator(self.manager, notifier)
+        detector_orb = self.nodes[detector_node].orb
+        detector = HeartbeatFaultDetector(
+            detector_orb, interval=interval, timeout=timeout,
+            miss_threshold=miss_threshold,
+            on_fault=lambda name, when: notifier.report(name, when),
+        )
+        for node_id, eternal_node in self.nodes.items():
+            monitorable = PullMonitorable(eternal_node.node)
+            ior = eternal_node.orb.poa.activate(
+                monitorable, object_key=PullMonitorable.OBJECT_KEY
+            )
+            if node_id != detector_node:
+                detector.monitor(node_id, ior)
+        for spare in spares:
+            self.manager.register_spare(spare)
+        detector.start()
+        self.detector = detector
+        self.notifier = notifier
+        self.coordinator = coordinator
+        return detector, notifier, coordinator
+
+    # ------------------------------------------------------------------
+    # Fault injection conveniences
+    # ------------------------------------------------------------------
+
+    def crash(self, node_id):
+        self.net.node(node_id).crash()
+        return self
+
+    def recover(self, node_id):
+        self.net.node(node_id).recover()
+        return self
+
+    def partition(self, components):
+        self.net.partition(components)
+        return self
+
+    def merge(self):
+        self.net.merge()
+        return self
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def replicas_of(self, group):
+        """Live LocalReplica objects of a group, keyed by node."""
+        return {
+            node_id: eternal_node.engine.replicas[group]
+            for node_id, eternal_node in self.nodes.items()
+            if group in eternal_node.engine.replicas
+        }
+
+    def states_of(self, group):
+        """Application states of all live, ready replicas of a group."""
+        return {
+            node_id: replica.servant.get_state()
+            for node_id, replica in self.replicas_of(group).items()
+            if replica.ready and self.net.node(node_id).alive
+        }

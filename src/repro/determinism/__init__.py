@@ -1,0 +1,36 @@
+"""Determinism enforcement: the paper's multithreading and time lessons.
+
+Replica consistency under active replication requires replicas to be
+deterministic.  Two of the paper's hardest-won lessons concern the ways
+real CORBA servers are *not*:
+
+- **Multithreaded dispatch**: ORBs dispatch concurrent requests on thread
+  pools; two replicas may interleave the same two operations differently
+  and diverge.  Eternal enforces a single logical thread of control.
+  :class:`DeterministicDispatcher` models the enforced regime (strict
+  delivery-order execution); :class:`ConcurrentDispatcher` models an
+  unconstrained multithreaded ORB (per-node random interleavings) and is
+  used by the E9 ablation to demonstrate the divergence.
+
+- **Environment non-determinism**: gettimeofday, random numbers, and other
+  local environment reads differ across replicas.  Eternal sanitizes them
+  by having one replica's value imposed on all.
+  :class:`SanitizedEnvironment` provides ``time()``/``random()`` whose
+  sanitized values are a deterministic function of the operation
+  identifier (the moral equivalent of the primary's decision being
+  communicated), and whose unsanitized values are node-local.
+"""
+
+from repro.determinism.dispatcher import (
+    ConcurrentDispatcher,
+    DeterministicDispatcher,
+    make_dispatcher,
+)
+from repro.determinism.sanitizer import SanitizedEnvironment
+
+__all__ = [
+    "ConcurrentDispatcher",
+    "DeterministicDispatcher",
+    "make_dispatcher",
+    "SanitizedEnvironment",
+]

@@ -1,0 +1,97 @@
+"""Replica execution dispatchers: deterministic vs concurrent.
+
+A dispatcher receives *tasks* (one per delivered operation) and decides
+when each runs.  Tasks expose:
+
+- ``cost``: simulated execution time in virtual seconds;
+- ``run(done)``: start executing; call ``done()`` when the operation
+  completes (possibly after suspensions for nested invocations).
+
+The deterministic dispatcher serializes tasks in submission (i.e. total
+delivery) order -- Eternal's enforced single logical thread.  The
+concurrent dispatcher starts every task immediately and lets their
+simulated executions overlap, adding a node-local random skew, which is
+how a multithreaded ORB interleaves request processing differently on
+different replicas.
+"""
+
+
+class DeterministicDispatcher:
+    """Strict FIFO execution: one operation at a time, in delivery order."""
+
+    def __init__(self, sim, node):
+        self.sim = sim
+        self.node = node
+        self._queue = []
+        self._running = False
+
+    def submit(self, task):
+        self._queue.append(task)
+        self._maybe_start()
+
+    @property
+    def depth(self):
+        """Tasks waiting or running."""
+        return len(self._queue) + (1 if self._running else 0)
+
+    def _maybe_start(self):
+        if self._running or not self._queue:
+            return
+        self._running = True
+        task = self._queue.pop(0)
+
+        def begin():
+            task.run(self._task_done)
+
+        if task.cost > 0:
+            self.node.timer(task.cost, begin, "dispatch.cost")
+        else:
+            begin()
+
+    def _task_done(self):
+        self._running = False
+        self._maybe_start()
+
+
+class ConcurrentDispatcher:
+    """Unconstrained overlap: models a multithreaded ORB's thread pool.
+
+    Every submitted task starts right away; its simulated execution time is
+    perturbed by a node-local random factor, so two replicas of the same
+    object complete the same operations in different orders and their
+    read-modify-write effects interleave differently.
+    """
+
+    def __init__(self, sim, node, jitter=0.5):
+        self.sim = sim
+        self.node = node
+        self.jitter = jitter
+        self.active = 0
+
+    def submit(self, task):
+        self.active += 1
+        skew = self.sim.rng.uniform(
+            "dispatch.concurrent.%s" % self.node.node_id, 0.0, self.jitter
+        )
+        delay = task.cost * (1.0 + skew) + skew * 1e-6
+
+        def begin():
+            task.run(self._task_done)
+
+        self.node.timer(delay, begin, "dispatch.concurrent")
+
+    @property
+    def depth(self):
+        return self.active
+
+    def _task_done(self):
+        self.active -= 1
+
+
+def make_dispatcher(policy, sim, node):
+    """Build a dispatcher from a policy name: 'deterministic'|'concurrent'."""
+    if policy == "deterministic":
+        return DeterministicDispatcher(sim, node)
+    if policy == "concurrent":
+        return ConcurrentDispatcher(sim, node)
+    raise ValueError("unknown dispatch policy %r" % (policy,))

@@ -1,0 +1,85 @@
+"""Sanitization of environment non-determinism (time, randomness).
+
+Eternal intercepts non-deterministic system calls so that all replicas of
+an object observe the same values: conceptually, one replica's value is
+chosen and imposed on the others.  Here the sanitized value is computed as
+a deterministic function of the operation identifier, which has exactly
+the property that matters: *every replica executing the same operation
+observes the same value*, while different operations observe different
+values.
+
+The unsanitized variants read node-local sources (the node's clock skew
+and private random stream), reproducing the divergence a real replicated
+server exhibits when gettimeofday/rand leak into its state.
+"""
+
+import hashlib
+
+
+class SanitizedEnvironment:
+    """Time and randomness source injected into replicated servants.
+
+    Args:
+        sim: the simulator.
+        node: hosting node (source of unsanitized values).
+        sanitized: when True (Eternal's regime), values depend only on the
+            current operation id; when False, values are node-local.
+    """
+
+    def __init__(self, sim, node, sanitized=True, clock_skew=None):
+        self.sim = sim
+        self.node = node
+        self.sanitized = sanitized
+        if clock_skew is None:
+            clock_skew = sim.rng.uniform("clock.skew.%s" % node.node_id, 0.0, 0.01)
+        self.clock_skew = clock_skew
+        self.current_operation_id = None  # set by the replication engine
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _digest(self, salt):
+        material = "%r::%r" % (self.current_operation_id, salt)
+        return hashlib.sha256(material.encode("utf-8")).digest()
+
+    def _op_fraction(self, salt):
+        digest = self._digest(salt)
+        return int.from_bytes(digest[:8], "big") / float(2 ** 64)
+
+    # ------------------------------------------------------------------
+    # Servant-facing API
+    # ------------------------------------------------------------------
+
+    def time(self):
+        """Current time as observed by the servant.
+
+        Sanitized: a deterministic timestamp derived from the operation id
+        (the value the primary would have decided).  Unsanitized: the local
+        clock including this node's private skew.
+        """
+        if self.sanitized:
+            return round(self._op_fraction("time") * 1e6, 6)
+        return self.sim.now + self.clock_skew
+
+    def random(self):
+        """A float in [0, 1): per-operation deterministic when sanitized."""
+        if self.sanitized:
+            return self._op_fraction("random")
+        return self.sim.rng.stream("env.random.%s" % self.node.node_id).random()
+
+    def randint(self, low, high):
+        """An integer in [low, high]: sanitized analogue of random.randint."""
+        span = high - low + 1
+        if span <= 0:
+            raise ValueError("empty range")
+        if self.sanitized:
+            return low + int(self._op_fraction("randint") * span) % span
+        return self.sim.rng.stream("env.random.%s" % self.node.node_id).randint(low, high)
+
+    def unique_id(self):
+        """An id unique per operation but equal across replicas."""
+        if self.sanitized:
+            return self._digest("uid")[:8].hex()
+        stream = self.sim.rng.stream("env.uid.%s" % self.node.node_id)
+        return "%016x" % stream.getrandbits(64)

@@ -1,0 +1,38 @@
+"""Fault detection, notification, and recovery coordination.
+
+The shape that Eternal's fault management took in the FT-CORBA standard:
+
+- :class:`PullMonitorable` -- the ``is_alive()`` object every monitored
+  node exposes;
+- :class:`HeartbeatFaultDetector` -- periodically pulls ``is_alive`` over
+  plain IIOP and reports targets that miss consecutive deadlines (the
+  detection latency as a function of the heartbeat interval and timeout
+  is experiment E4);
+- :class:`FaultNotifier` -- fans structured fault reports out to
+  subscribers;
+- :class:`RecoveryCoordinator` -- a notifier subscriber that asks the
+  ReplicationManager to restore the replication degree of affected
+  object groups on spare nodes.
+
+Note the layering: Totem's membership protocol *also* detects processor
+faults (that is what drives replica failover), on its own timescale.
+This package is the management-plane detector that drives replica
+re-instantiation, exactly as the paper separates the two concerns.
+"""
+
+from repro.faultdetect.detector import (
+    HeartbeatFaultDetector,
+    HierarchicalFaultDetector,
+    PullMonitorable,
+)
+from repro.faultdetect.notifier import FaultNotifier, FaultReport
+from repro.faultdetect.recovery import RecoveryCoordinator
+
+__all__ = [
+    "HeartbeatFaultDetector",
+    "HierarchicalFaultDetector",
+    "PullMonitorable",
+    "FaultNotifier",
+    "FaultReport",
+    "RecoveryCoordinator",
+]

@@ -1,0 +1,157 @@
+"""Pull-style heartbeat fault detection over plain IIOP."""
+
+from repro.orb.idl import Servant, operation
+
+
+class PullMonitorable(Servant):
+    """The object a fault detector pings (FT-CORBA's PullMonitorable)."""
+
+    OBJECT_KEY = "ft/monitorable"
+
+    def __init__(self, node):
+        self.node = node
+        self.pings = 0
+
+    @operation(read_only=True)
+    def is_alive(self):
+        self.pings += 1
+        return True
+
+
+class MonitoredTarget:
+    """Detector-side record for one monitored endpoint."""
+
+    __slots__ = ("name", "ior", "misses", "suspected", "last_ok")
+
+    def __init__(self, name, ior):
+        self.name = name
+        self.ior = ior
+        self.misses = 0
+        self.suspected = False
+        self.last_ok = None
+
+
+class HeartbeatFaultDetector:
+    """Periodically pulls ``is_alive`` from targets; reports the silent.
+
+    Args:
+        orb: the detecting node's ORB (pings travel over its transport).
+        interval: heartbeat period, virtual seconds.
+        timeout: per-ping reply deadline.
+        miss_threshold: consecutive missed deadlines before a target is
+            suspected faulty.
+        on_fault: callback(name, detection_time) -- typically the
+            FaultNotifier's ``report`` method.
+    """
+
+    def __init__(self, orb, interval=0.1, timeout=None, miss_threshold=2,
+                 on_fault=None):
+        self.orb = orb
+        self.sim = orb.sim
+        self.interval = interval
+        self.timeout = timeout if timeout is not None else interval
+        self.miss_threshold = miss_threshold
+        self.on_fault = on_fault or (lambda name, when: None)
+        self.targets = {}
+        self.running = False
+
+    def monitor(self, name, ior):
+        """Start monitoring an endpoint (idempotent per name)."""
+        self.targets[name] = MonitoredTarget(name, ior)
+        return self
+
+    def forget(self, name):
+        self.targets.pop(name, None)
+
+    def start(self):
+        if not self.running:
+            self.running = True
+            self._tick()
+        return self
+
+    def stop(self):
+        self.running = False
+
+    def _tick(self):
+        if not self.running:
+            return
+        for target in list(self.targets.values()):
+            if not target.suspected:
+                self._ping(target)
+        self.orb.node.timer(self.interval, self._tick, "ftdet.tick")
+
+    def _ping(self, target):
+        future = self.orb.invoke(
+            target.ior, "is_alive", (), timeout=self.timeout
+        )
+
+        def complete(fut):
+            if fut.exception() is None and fut.result() is True:
+                target.misses = 0
+                target.last_ok = self.sim.now
+            else:
+                target.misses += 1
+                self.sim.emit("ftdet.miss", {"target": target.name,
+                                             "misses": target.misses})
+                if target.misses >= self.miss_threshold and not target.suspected:
+                    target.suspected = True
+                    self.sim.emit("ftdet.suspect", {"target": target.name})
+                    self.on_fault(target.name, self.sim.now)
+
+        future.add_done_callback(complete)
+
+    def suspected(self):
+        """Names currently suspected faulty."""
+        return [t.name for t in self.targets.values() if t.suspected]
+
+
+class HierarchicalFaultDetector:
+    """Two-level detection: per-host local detectors, one global aggregator.
+
+    FT-CORBA structures fault detection hierarchically so the global
+    detector's load is independent of the object count: a local detector
+    on each host monitors the objects *on that host* cheaply (here: the
+    host's own liveness plus its monitorables), while the global detector
+    only heartbeats the local detectors.  A local detector that goes
+    silent implicates its whole host.
+
+    This class is the global tier; it monitors one
+    :class:`PullMonitorable` per host and translates a missed host into
+    fault reports for every object registered under it.
+    """
+
+    def __init__(self, orb, interval=0.1, timeout=None, miss_threshold=2,
+                 on_fault=None):
+        self.on_fault = on_fault or (lambda name, when: None)
+        self._host_objects = {}
+        self._detector = HeartbeatFaultDetector(
+            orb, interval=interval, timeout=timeout,
+            miss_threshold=miss_threshold, on_fault=self._host_down,
+        )
+
+    def monitor_host(self, host, monitorable_ior, objects=()):
+        """Monitor a host's local detector; ``objects`` live on that host."""
+        self._host_objects[host] = list(objects)
+        self._detector.monitor(host, monitorable_ior)
+        return self
+
+    def register_object(self, host, object_name):
+        """Record that an object lives on a monitored host."""
+        self._host_objects.setdefault(host, []).append(object_name)
+
+    def start(self):
+        self._detector.start()
+        return self
+
+    def stop(self):
+        self._detector.stop()
+
+    def suspected_hosts(self):
+        return self._detector.suspected()
+
+    def _host_down(self, host, when):
+        # The host itself is reported first, then each object on it --
+        # the fan-out the hierarchy buys without per-object heartbeats.
+        self.on_fault(host, when)
+        for object_name in self._host_objects.get(host, ()):
+            self.on_fault("%s@%s" % (object_name, host), when)

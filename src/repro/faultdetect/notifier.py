@@ -1,0 +1,79 @@
+"""Fault notification: structured reports fanned out to subscribers."""
+
+
+class FaultReport:
+    """A structured fault report (FT-CORBA's StructuredFault shape)."""
+
+    __slots__ = ("kind", "target", "detected_at", "detector")
+
+    def __init__(self, kind, target, detected_at, detector=None):
+        self.kind = kind
+        self.target = target
+        self.detected_at = detected_at
+        self.detector = detector
+
+    def __repr__(self):
+        return "FaultReport(%s, %s, t=%.4f)" % (self.kind, self.target, self.detected_at)
+
+
+class FaultNotifier:
+    """Fans fault reports out to subscribers; keeps a history.
+
+    Subscribers are callables taking a :class:`FaultReport`.  Duplicate
+    reports about the same target are delivered once until the target is
+    cleared (a recovered node can be re-reported).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.subscribers = []
+        self.history = []
+        self._open_faults = set()
+        self._channel = None
+
+    def subscribe(self, callback):
+        self.subscribers.append(callback)
+        return self
+
+    def attach_channel(self, orb, channel_ior):
+        """Also publish reports to a CosEvent-style event channel.
+
+        FT-CORBA specifies the FaultNotifier as a structured event
+        channel; attaching one lets remote (possibly replicated) consumers
+        receive fault reports as ordinary pushed events.
+        """
+        self._channel = (orb, channel_ior)
+        return self
+
+    def unsubscribe(self, callback):
+        self.subscribers.remove(callback)
+
+    def report(self, target, detected_at=None, kind="CRASH", detector=None):
+        """Publish a fault report (deduplicated while the fault is open)."""
+        if target in self._open_faults:
+            return None
+        self._open_faults.add(target)
+        report = FaultReport(
+            kind, target,
+            detected_at if detected_at is not None else self.sim.now,
+            detector,
+        )
+        self.history.append(report)
+        self.sim.emit("ftnotify.report", {"target": target, "kind": kind})
+        for subscriber in list(self.subscribers):
+            subscriber(report)
+        if self._channel is not None:
+            orb, channel_ior = self._channel
+            orb.invoke(channel_ior, "push", ({
+                "kind": report.kind,
+                "target": report.target,
+                "detected_at": report.detected_at,
+            },))
+        return report
+
+    def clear(self, target):
+        """Mark a fault resolved so future faults of the target re-report."""
+        self._open_faults.discard(target)
+
+    def open_faults(self):
+        return sorted(self._open_faults)

@@ -1,0 +1,28 @@
+"""Recovery coordination: degree restoration driven by fault reports."""
+
+
+class RecoveryCoordinator:
+    """Subscribes to a FaultNotifier and restores replication degrees.
+
+    When a node fault is reported, every object group that hosted a
+    replica there and fell below its policy's ``min_replicas`` gets a new
+    member on a spare node (via the ReplicationManager); the new member
+    initializes itself through the group's state-transfer mechanism.
+    """
+
+    def __init__(self, manager, notifier):
+        self.manager = manager
+        self.notifier = notifier
+        self.placements = []
+        notifier.subscribe(self._on_report)
+
+    def _on_report(self, report):
+        placements = self.manager.handle_fault(report.target)
+        for group, node_id in placements:
+            self.manager.engines[node_id].sim.emit(
+                "ftrecover.placement", {"group": group, "node": node_id}
+            )
+        self.placements.extend(placements)
+
+    def placements_for(self, group):
+        return [node for g, node in self.placements if g == group]

@@ -1,0 +1,13 @@
+"""Gateway for unreplicated external clients.
+
+Clients outside the group-communication domain (plain CORBA clients on an
+ordinary ORB over TCP) cannot multicast invocations.  Eternal serves them
+through a gateway: the client invokes an ordinary IIOP reference whose
+endpoint is a gateway node; the gateway forwards the request into the
+object group on the client's behalf and relays the reply back over the
+TCP connection.
+"""
+
+from repro.gateway.gateway import Gateway
+
+__all__ = ["Gateway"]

@@ -1,0 +1,94 @@
+"""The gateway service bridging plain IIOP clients to object groups."""
+
+from repro.orb.giop import ReplyMessage
+from repro.orb.ior import IOR, IIOPProfile
+
+
+class Gateway:
+    """Bridges unreplicated TCP clients into the replication domain.
+
+    Runs on a node that participates in the group communication system
+    (its engine provides the multicast path).  ``export(group_ior)``
+    returns a plain IIOP reference external clients can use; requests
+    arriving on it are re-issued as group invocations by the gateway's
+    engine -- the gateway's client group provides the operation
+    identifiers, so retries and failovers stay duplicate-suppressed.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.orb = engine.orb
+        self.sim = engine.sim
+        self.exports = {}
+        self.forwarded = 0
+        self.orb.poa.default_handler = self._handle
+
+    def export(self, group_ior, type_id=None):
+        """Expose a group reference as a plain IIOP reference.
+
+        External clients resolve the returned IOR like any unreplicated
+        CORBA object; they need no knowledge of the replication domain.
+        """
+        group = group_ior.group_profile()
+        if group is None:
+            raise ValueError("export() requires a group reference")
+        object_key = "gateway:%s" % group.group_name
+        self.exports[object_key] = group_ior
+        profile = IIOPProfile(self.orb.node_id, self.orb.port, object_key)
+        return IOR(type_id or group_ior.type_id, [profile])
+
+    def _handle(self, request, respond):
+        group_ior = self.exports.get(request.object_key)
+        if group_ior is None:
+            return False
+        self.forwarded += 1
+        self.sim.emit("gateway.forward", {"key": request.object_key,
+                                          "op": request.operation})
+        args_future = self.orb.invoke(
+            group_ior,
+            request.operation,
+            _decode_args(request),
+            response_expected=request.response_expected,
+        )
+        if not request.response_expected:
+            respond(None)
+            return True
+
+        def relay(fut):
+            respond(_reply_from_future(request, fut))
+
+        args_future.add_done_callback(relay)
+        return True
+
+
+def _decode_args(request):
+    from repro.orb.cdr import decode_value
+
+    return decode_value(request.body)
+
+
+def _reply_from_future(request, future):
+    from repro.orb.cdr import encode_value
+    from repro.orb.exceptions import ApplicationError, SystemException
+    from repro.orb.giop import ReplyStatus
+
+    exc = future.exception()
+    if exc is None:
+        return ReplyMessage(
+            request.request_id, ReplyStatus.NO_EXCEPTION,
+            encode_value(future.result()),
+        )
+    if isinstance(exc, SystemException):
+        return ReplyMessage(
+            request.request_id, ReplyStatus.SYSTEM_EXCEPTION,
+            encode_value((exc.name, exc.detail, exc.minor)),
+        )
+    if isinstance(exc, ApplicationError):
+        return ReplyMessage(
+            request.request_id, ReplyStatus.USER_EXCEPTION,
+            encode_value((exc.exc_type, exc.detail)),
+        )
+    return ReplyMessage(
+        request.request_id, ReplyStatus.USER_EXCEPTION,
+        encode_value((type(exc).__name__, str(exc))),
+    )

@@ -1,0 +1,38 @@
+"""GIOP interception: the architectural trick that makes Eternal transparent.
+
+Eternal attaches to an *unmodified* ORB by library interpositioning: it
+captures the IIOP (GIOP-over-TCP) messages the ORB writes to its sockets
+and diverts them into the replication mechanisms.  In this reproduction
+the ORB exposes a pluggable router, and this package provides the
+interception point:
+
+- :class:`InterceptionPoint` -- a router that passes every outgoing GIOP
+  Request (as encoded bytes) through a chain of interceptors before
+  handing it to the terminal router;
+- :class:`Interceptor` -- the hook interface (observe, rewrite, or divert
+  a message);
+- :class:`RecordingInterceptor` -- captures the raw GIOP byte stream
+  (useful in tests and for wire-level debugging);
+- :class:`DivertingInterceptor` -- sends group-addressed requests to a
+  handler (the replication engine) instead of the network, which is
+  exactly the Eternal diversion.
+
+The replication engine's ``GroupRouter`` is the specialized, always-on
+composition of these pieces; this package exposes the general mechanism
+so other infrastructure (logging, tracing, protocol bridging) can attach
+the same way the paper's interceptors did.
+"""
+
+from repro.interception.interceptor import (
+    DivertingInterceptor,
+    InterceptionPoint,
+    Interceptor,
+    RecordingInterceptor,
+)
+
+__all__ = [
+    "DivertingInterceptor",
+    "InterceptionPoint",
+    "Interceptor",
+    "RecordingInterceptor",
+]

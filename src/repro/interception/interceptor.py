@@ -1,0 +1,103 @@
+"""Interceptor chain installed below the ORB."""
+
+from repro.orb.giop import decode_message, encode_message
+
+
+class Interceptor:
+    """Hook interface for the interception point.
+
+    ``outgoing_request`` receives the target IOR and the *encoded* GIOP
+    request bytes (interception happens below the ORB, at the wire level,
+    as in Eternal).  It returns one of:
+
+    - ``None`` -- pass the message on unchanged;
+    - new bytes -- pass the rewritten message on;
+    - ``InterceptDiverted`` -- the interceptor consumed the message (it
+      will complete the invocation itself).
+    """
+
+    def outgoing_request(self, ior, data, request, future):
+        return None
+
+    def incoming_reply(self, data, reply):
+        return None
+
+
+class InterceptDiverted:
+    """Sentinel: an interceptor consumed the message."""
+
+
+DIVERTED = InterceptDiverted()
+
+
+class InterceptionPoint:
+    """A router that runs an interceptor chain before the terminal router.
+
+    Install with ``orb.router = InterceptionPoint(orb, orb.router)`` and
+    attach interceptors with :meth:`add`.  Mirrors Eternal's library
+    interpositioning point: every GIOP Request the ORB emits passes
+    through here in encoded form.
+    """
+
+    def __init__(self, orb, terminal):
+        self.orb = orb
+        self.terminal = terminal
+        self.chain = []
+
+    def add(self, interceptor):
+        self.chain.append(interceptor)
+        return self
+
+    def remove(self, interceptor):
+        self.chain.remove(interceptor)
+
+    def send_request(self, ior, request, future):
+        data = encode_message(request)
+        for interceptor in self.chain:
+            outcome = interceptor.outgoing_request(ior, data, request, future)
+            if isinstance(outcome, InterceptDiverted) or outcome is DIVERTED:
+                return
+            if outcome is not None:
+                data = outcome
+                request = decode_message(data)
+        self.terminal.send_request(ior, request, future)
+
+    def _with_connection(self, profile, action, on_error):
+        self.terminal._with_connection(profile, action, on_error)
+
+    def close(self):
+        self.terminal.close()
+
+
+class RecordingInterceptor(Interceptor):
+    """Captures the encoded GIOP request stream passing the point."""
+
+    def __init__(self):
+        self.requests = []
+
+    def outgoing_request(self, ior, data, request, future):
+        self.requests.append((ior, bytes(data)))
+        return None
+
+    @property
+    def operations(self):
+        """Operation names captured so far, in order."""
+        return [decode_message(data).operation for _ior, data in self.requests]
+
+
+class DivertingInterceptor(Interceptor):
+    """Diverts group-addressed requests to a handler (Eternal's diversion).
+
+    ``handler(ior, request, future)`` must complete the invocation (the
+    replication engine's ``send_group_request`` has this signature).
+    Non-group references pass through to the terminal router untouched.
+    """
+
+    def __init__(self, handler):
+        self.handler = handler
+
+    def outgoing_request(self, ior, data, request, future):
+        if ior.is_group_reference():
+            self.handler(ior, request, future)
+            return DIVERTED
+        return None

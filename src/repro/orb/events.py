@@ -1,0 +1,125 @@
+"""A CosEvent-style event channel: decoupled push-model notification.
+
+FT-CORBA's FaultNotifier is specified as a structured event channel:
+suppliers push structured events; consumers connect and receive them.
+This module provides that substrate as an ordinary (and therefore
+replicable) servant:
+
+- :class:`EventChannel` -- the channel servant: consumers register the
+  IOR of a :class:`PushConsumer`-shaped object; pushed events fan out to
+  every connected consumer via ordinary (oneway-style) invocations.
+- :class:`PushConsumer` -- base servant for receivers.
+
+Because the channel is a CORBA object like any other, it can be hosted
+unreplicated on one ORB or replicated as an object group -- the
+fault-management plane in :mod:`repro.faultdetect` uses it so fault
+reports survive the death of the notifier host itself.
+"""
+
+from repro.orb.idl import NestedCall, Servant, operation
+from repro.state.checkpointable import Checkpointable
+
+
+class PushConsumer(Servant):
+    """Base consumer servant: override :meth:`push` or read ``received``."""
+
+    def __init__(self):
+        self.received = []
+
+    @operation()
+    def push(self, event):
+        self.received.append(event)
+        return True
+
+
+class EventChannel(Servant, Checkpointable):
+    """Push-model event channel with durable consumer registrations.
+
+    Events are fanned out by nested invocations on the registered consumer
+    references; a consumer that cannot be reached is disconnected after
+    ``max_failures`` consecutive failed pushes (the CosEvent convention).
+
+    The consumer registry and the bounded event history are the channel's
+    replicated state, so a replicated channel keeps its subscriptions
+    across replica failures.
+    """
+
+    def __init__(self, history_limit=100, max_failures=3):
+        self.consumers = {}     # consumer id -> stringified IOR
+        self.failures = {}      # consumer id -> consecutive failures
+        self.history = []
+        self.history_limit = history_limit
+        self.max_failures = max_failures
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+
+    @operation()
+    def connect_push_consumer(self, consumer_ior_string):
+        """Register a consumer; returns its connection id."""
+        consumer_id = self._next_id
+        self._next_id += 1
+        self.consumers[str(consumer_id)] = consumer_ior_string
+        self.failures[str(consumer_id)] = 0
+        return consumer_id
+
+    @operation()
+    def disconnect_push_consumer(self, consumer_id):
+        key = str(consumer_id)
+        self.consumers.pop(key, None)
+        self.failures.pop(key, None)
+        return True
+
+    @operation(read_only=True)
+    def consumer_count(self):
+        return len(self.consumers)
+
+    @operation(read_only=True)
+    def recent_events(self, limit=10):
+        return self.history[-limit:]
+
+    # ------------------------------------------------------------------
+    # Event flow
+    # ------------------------------------------------------------------
+
+    @operation()
+    def push(self, event):
+        """Fan an event out to every connected consumer (nested calls)."""
+        self.history.append(event)
+        if len(self.history) > self.history_limit:
+            self.history = self.history[-self.history_limit:]
+        delivered = 0
+        for consumer_id, ior_string in sorted(self.consumers.items()):
+            try:
+                result = yield NestedCall(ior_string, "push", (event,))
+            except Exception:  # noqa: BLE001 - consumer failure policy below
+                result = None
+            if result:
+                delivered += 1
+                self.failures[consumer_id] = 0
+            else:
+                self.failures[consumer_id] = self.failures.get(consumer_id, 0) + 1
+                if self.failures[consumer_id] >= self.max_failures:
+                    self.consumers.pop(consumer_id, None)
+                    self.failures.pop(consumer_id, None)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Checkpointable
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        return {
+            "consumers": dict(self.consumers),
+            "failures": dict(self.failures),
+            "history": list(self.history),
+            "next_id": self._next_id,
+        }
+
+    def set_state(self, state):
+        self.consumers = dict(state["consumers"])
+        self.failures = dict(state["failures"])
+        self.history = list(state["history"])
+        self._next_id = state["next_id"]

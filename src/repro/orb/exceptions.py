@@ -1,0 +1,115 @@
+"""CORBA-style system exceptions.
+
+The names follow the CORBA standard minor set the Eternal papers rely on
+(COMM_FAILURE for connection loss, TRANSIENT for retryable conditions,
+OBJECT_NOT_EXIST for stale references).  ``ApplicationError`` wraps user
+exceptions raised by servants, mirroring GIOP's USER_EXCEPTION reply status.
+"""
+
+
+class SystemException(Exception):
+    """Base of all CORBA system exceptions."""
+
+    name = "UNKNOWN"
+
+    def __init__(self, detail="", minor=0):
+        super().__init__("%s: %s" % (self.name, detail) if detail else self.name)
+        self.detail = detail
+        self.minor = minor
+
+
+class CommFailure(SystemException):
+    """Communication with the target failed (connection broken)."""
+
+    name = "COMM_FAILURE"
+
+
+class Transient(SystemException):
+    """Temporary condition; the request may be retried."""
+
+    name = "TRANSIENT"
+
+
+class ObjectNotExist(SystemException):
+    """The target object does not exist (stale or destroyed reference)."""
+
+    name = "OBJECT_NOT_EXIST"
+
+
+class BadOperation(SystemException):
+    """The operation is not part of the target's interface."""
+
+    name = "BAD_OPERATION"
+
+
+class NoImplement(SystemException):
+    """The operation exists but no implementation is available."""
+
+    name = "NO_IMPLEMENT"
+
+
+class MarshalError(SystemException):
+    """Marshaling or demarshaling of a message body failed."""
+
+    name = "MARSHAL"
+
+
+class InvObjref(SystemException):
+    """An object reference is malformed."""
+
+    name = "INV_OBJREF"
+
+
+class TimeoutError_(SystemException):
+    """A request exceeded its relative round-trip timeout."""
+
+    name = "TIMEOUT"
+
+
+class ForwardRequest(Exception):
+    """Raised by a servant to redirect the client to another reference.
+
+    The POA maps it to a LOCATION_FORWARD reply; the client ORB
+    transparently re-issues the request at the forwarded reference
+    (CORBA's standard relocation mechanism, which FT-CORBA reuses to point
+    clients at a group's current primary).
+    """
+
+    def __init__(self, forward_ior):
+        super().__init__("forward to %s" % getattr(forward_ior, "type_id", forward_ior))
+        self.forward_ior = forward_ior
+
+
+class ApplicationError(Exception):
+    """A user exception raised by a servant, propagated to the client.
+
+    Carries the exception's repository-ish id (the Python class name) and
+    the marshaled description so it round-trips through GIOP replies.
+    """
+
+    def __init__(self, exc_type, detail):
+        super().__init__("%s: %s" % (exc_type, detail))
+        self.exc_type = exc_type
+        self.detail = detail
+
+
+_SYSTEM_EXCEPTIONS = {
+    cls.name: cls
+    for cls in (
+        SystemException,
+        CommFailure,
+        Transient,
+        ObjectNotExist,
+        BadOperation,
+        NoImplement,
+        MarshalError,
+        InvObjref,
+        TimeoutError_,
+    )
+}
+
+
+def system_exception_from_name(name, detail="", minor=0):
+    """Rebuild a system exception from its wire name."""
+    cls = _SYSTEM_EXCEPTIONS.get(name, SystemException)
+    return cls(detail, minor)

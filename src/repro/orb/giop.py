@@ -1,0 +1,256 @@
+"""GIOP message encoding: the wire protocol the interceptor diverts.
+
+Implements the General Inter-ORB Protocol message taxonomy with a real
+byte-level encoding (12-byte header ``GIOP | version | flags | type |
+size`` followed by a CDR body).  The Eternal mechanisms operate on whole
+GIOP messages: the interception layer captures the encoded bytes below the
+ORB and multicasts them, exactly as the paper's library interpositioning
+captured IIOP traffic.
+
+Service contexts are a dict carried on Requests and Replies; the
+replication layer uses them for its invocation/operation identifiers
+without touching the message body (matching how Eternal and later
+FT-CORBA piggyback context on GIOP messages).
+"""
+
+import struct
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.exceptions import MarshalError
+
+MAGIC = b"GIOP"
+VERSION = (1, 2)
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+MSG_CANCEL_REQUEST = 2
+MSG_LOCATE_REQUEST = 3
+MSG_LOCATE_REPLY = 4
+MSG_CLOSE_CONNECTION = 5
+MSG_ERROR = 6
+
+
+class ReplyStatus:
+    """GIOP reply status values."""
+
+    NO_EXCEPTION = 0
+    USER_EXCEPTION = 1
+    SYSTEM_EXCEPTION = 2
+    LOCATION_FORWARD = 3
+
+
+class RequestMessage:
+    """A GIOP Request.
+
+    Attributes:
+        request_id: per-connection (or per-replica) id matching the reply.
+        object_key: opaque server-side key from the target IOR profile.
+        operation: operation name.
+        body: CDR-encoded argument tuple.
+        response_expected: False for oneway operations.
+        service_context: dict of out-of-band context entries.
+    """
+
+    msg_type = MSG_REQUEST
+
+    def __init__(self, request_id, object_key, operation, body,
+                 response_expected=True, service_context=None):
+        self.request_id = request_id
+        self.object_key = object_key
+        self.operation = operation
+        self.body = bytes(body)
+        self.response_expected = response_expected
+        self.service_context = dict(service_context or {})
+
+    def encode_body(self, enc):
+        enc.ulong(self.request_id)
+        enc.string(self.object_key)
+        enc.string(self.operation)
+        enc.octet(1 if self.response_expected else 0)
+        enc.value(self.service_context)
+        enc.sequence(self.body)
+
+    @classmethod
+    def decode_body(cls, dec):
+        request_id = dec.ulong()
+        object_key = dec.string()
+        op = dec.string()
+        response_expected = bool(dec.octet())
+        service_context = dec.value()
+        body = dec.sequence()
+        return cls(request_id, object_key, op, body, response_expected, service_context)
+
+    def __repr__(self):
+        return "Request(id=%d, key=%s, op=%s)" % (
+            self.request_id, self.object_key, self.operation,
+        )
+
+
+class ReplyMessage:
+    """A GIOP Reply carrying a status and a CDR-encoded result body."""
+
+    msg_type = MSG_REPLY
+
+    def __init__(self, request_id, status, body, service_context=None):
+        self.request_id = request_id
+        self.status = status
+        self.body = bytes(body)
+        self.service_context = dict(service_context or {})
+
+    def encode_body(self, enc):
+        enc.ulong(self.request_id)
+        enc.octet(self.status)
+        enc.value(self.service_context)
+        enc.sequence(self.body)
+
+    @classmethod
+    def decode_body(cls, dec):
+        request_id = dec.ulong()
+        status = dec.octet()
+        service_context = dec.value()
+        body = dec.sequence()
+        return cls(request_id, status, body, service_context)
+
+    def __repr__(self):
+        return "Reply(id=%d, status=%d)" % (self.request_id, self.status)
+
+
+class CancelRequestMessage:
+    """A GIOP CancelRequest for an outstanding request id."""
+
+    msg_type = MSG_CANCEL_REQUEST
+
+    def __init__(self, request_id):
+        self.request_id = request_id
+
+    def encode_body(self, enc):
+        enc.ulong(self.request_id)
+
+    @classmethod
+    def decode_body(cls, dec):
+        return cls(dec.ulong())
+
+    def __repr__(self):
+        return "CancelRequest(id=%d)" % self.request_id
+
+
+class LocateRequestMessage:
+    """A GIOP LocateRequest probing whether an object key is served here."""
+
+    msg_type = MSG_LOCATE_REQUEST
+
+    def __init__(self, request_id, object_key):
+        self.request_id = request_id
+        self.object_key = object_key
+
+    def encode_body(self, enc):
+        enc.ulong(self.request_id)
+        enc.string(self.object_key)
+
+    @classmethod
+    def decode_body(cls, dec):
+        return cls(dec.ulong(), dec.string())
+
+    def __repr__(self):
+        return "LocateRequest(id=%d, key=%s)" % (self.request_id, self.object_key)
+
+
+class LocateReplyMessage:
+    """A GIOP LocateReply: 0 unknown, 1 here, 2 forward."""
+
+    msg_type = MSG_LOCATE_REPLY
+
+    UNKNOWN_OBJECT = 0
+    OBJECT_HERE = 1
+    OBJECT_FORWARD = 2
+
+    def __init__(self, request_id, locate_status):
+        self.request_id = request_id
+        self.locate_status = locate_status
+
+    def encode_body(self, enc):
+        enc.ulong(self.request_id)
+        enc.octet(self.locate_status)
+
+    @classmethod
+    def decode_body(cls, dec):
+        return cls(dec.ulong(), dec.octet())
+
+    def __repr__(self):
+        return "LocateReply(id=%d, status=%d)" % (self.request_id, self.locate_status)
+
+
+class CloseConnectionMessage:
+    """Orderly connection shutdown notification."""
+
+    msg_type = MSG_CLOSE_CONNECTION
+
+    def encode_body(self, enc):
+        pass
+
+    @classmethod
+    def decode_body(cls, dec):
+        return cls()
+
+    def __repr__(self):
+        return "CloseConnection()"
+
+
+class MessageErrorMessage:
+    """Sent in response to an unparsable GIOP message."""
+
+    msg_type = MSG_ERROR
+
+    def encode_body(self, enc):
+        pass
+
+    @classmethod
+    def decode_body(cls, dec):
+        return cls()
+
+    def __repr__(self):
+        return "MessageError()"
+
+
+_MESSAGE_CLASSES = {
+    cls.msg_type: cls
+    for cls in (
+        RequestMessage,
+        ReplyMessage,
+        CancelRequestMessage,
+        LocateRequestMessage,
+        LocateReplyMessage,
+        CloseConnectionMessage,
+        MessageErrorMessage,
+    )
+}
+
+
+def encode_message(message):
+    """Encode a GIOP message object to its wire bytes."""
+    enc = CdrEncoder()
+    message.encode_body(enc)
+    body = enc.getvalue()
+    header = struct.pack(
+        ">4sBBBBI", MAGIC, VERSION[0], VERSION[1], 0, message.msg_type, len(body)
+    )
+    return header + body
+
+
+def decode_message(data):
+    """Decode wire bytes back to a GIOP message object."""
+    data = bytes(data)
+    if len(data) < 12:
+        raise MarshalError("GIOP message shorter than header")
+    magic, major, minor, _flags, msg_type, size = struct.unpack(">4sBBBBI", data[:12])
+    if magic != MAGIC:
+        raise MarshalError("bad GIOP magic %r" % magic)
+    if (major, minor) != VERSION:
+        raise MarshalError("unsupported GIOP version %d.%d" % (major, minor))
+    body = data[12:]
+    if len(body) != size:
+        raise MarshalError("GIOP size mismatch: header %d, actual %d" % (size, len(body)))
+    cls = _MESSAGE_CLASSES.get(msg_type)
+    if cls is None:
+        raise MarshalError("unknown GIOP message type %d" % msg_type)
+    return cls.decode_body(CdrDecoder(body))

@@ -1,0 +1,125 @@
+"""IDL-lite: interface declaration for servants.
+
+CORBA generates stubs and skeletons from IDL; here the interface is
+declared in Python directly.  Methods exposed to remote callers are marked
+with the :func:`operation` decorator; :func:`interface_of` extracts the
+interface description used by the POA for dispatch and by stubs for
+argument checking.
+
+Nested operations: a servant method that must invoke another object cannot
+block (the simulation is event-driven), so it is written as a *generator*
+that yields :class:`NestedCall` values; the dispatcher performs the call
+and resumes the generator with its result::
+
+    @operation()
+    def transfer(self, other_ref, amount):
+        self.balance -= amount
+        result = yield NestedCall(other_ref, "deposit", (amount,))
+        return result
+"""
+
+from repro.orb.exceptions import BadOperation
+
+
+class NestedCall:
+    """A nested invocation yielded from a servant generator method."""
+
+    __slots__ = ("target", "operation", "args")
+
+    def __init__(self, target, operation, args=()):
+        self.target = target
+        self.operation = operation
+        self.args = tuple(args)
+
+    def __repr__(self):
+        return "NestedCall(%s, args=%d)" % (self.operation, len(self.args))
+
+
+def operation(oneway=False, read_only=False):
+    """Mark a servant method as a remotely invocable operation.
+
+    Args:
+        oneway: no reply is expected (CORBA oneway semantics).
+        read_only: the operation does not modify servant state; replication
+            styles may exploit this (e.g. passive replication need not push
+            a state update after a read-only operation).
+    """
+
+    def mark(func):
+        func._idl_operation = {"oneway": oneway, "read_only": read_only}
+        return func
+
+    return mark
+
+
+class OperationInfo:
+    """Metadata for one interface operation."""
+
+    __slots__ = ("name", "oneway", "read_only")
+
+    def __init__(self, name, oneway, read_only):
+        self.name = name
+        self.oneway = oneway
+        self.read_only = read_only
+
+    def __repr__(self):
+        flags = []
+        if self.oneway:
+            flags.append("oneway")
+        if self.read_only:
+            flags.append("read_only")
+        return "OperationInfo(%s%s)" % (self.name, " " + ",".join(flags) if flags else "")
+
+
+class InterfaceInfo:
+    """Description of a servant interface: repository id plus operations."""
+
+    def __init__(self, repository_id, operations):
+        self.repository_id = repository_id
+        self.operations = dict(operations)
+
+    def operation_info(self, name):
+        info = self.operations.get(name)
+        if info is None:
+            raise BadOperation(
+                "%s has no operation %r" % (self.repository_id, name)
+            )
+        return info
+
+    def __repr__(self):
+        return "InterfaceInfo(%s, ops=%s)" % (
+            self.repository_id, sorted(self.operations),
+        )
+
+
+class Servant:
+    """Base class for object implementations.
+
+    Subclasses define operations with :func:`operation`.  The repository id
+    defaults to ``IDL:<ClassName>:1.0`` in CORBA style and may be overridden
+    with the ``REPOSITORY_ID`` class attribute.
+    """
+
+    REPOSITORY_ID = None
+
+    @classmethod
+    def interface(cls):
+        return interface_of(cls)
+
+
+def interface_of(servant_or_class):
+    """Build (and cache) the :class:`InterfaceInfo` for a servant class."""
+    cls = servant_or_class if isinstance(servant_or_class, type) else type(servant_or_class)
+    cached = cls.__dict__.get("_idl_interface")
+    if cached is not None:
+        return cached
+    operations = {}
+    for name in dir(cls):
+        member = getattr(cls, name, None)
+        meta = getattr(member, "_idl_operation", None)
+        if meta is not None:
+            operations[name] = OperationInfo(name, meta["oneway"], meta["read_only"])
+    repository_id = getattr(cls, "REPOSITORY_ID", None) or "IDL:%s:1.0" % cls.__name__
+    info = InterfaceInfo(repository_id, operations)
+    cls._idl_interface = info
+    return info

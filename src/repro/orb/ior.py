@@ -1,0 +1,169 @@
+"""Interoperable Object References.
+
+An :class:`IOR` names a CORBA object: a repository (type) id plus one or
+more profiles saying how to reach it.  Two profile kinds exist here:
+
+- :class:`IIOPProfile` -- a concrete endpoint (node, port, object key),
+  the standard TAG_INTERNET_IOP profile;
+- :class:`FTGroupProfile` -- an object-group reference (the shape that
+  became TAG_FT_GROUP in the FT-CORBA standard): it names a replicated
+  object group rather than an endpoint, and the Eternal interception
+  layer routes invocations on it through the group communication system.
+
+IORs stringify to ``IOR:<hex>`` exactly like real CORBA references, so
+they can be passed through configuration files and naming contexts.
+"""
+
+import binascii
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.exceptions import InvObjref
+
+_TAG_IIOP = 0
+_TAG_FT_GROUP = 97  # mirrors OMG's TAG_FT_GROUP
+
+
+class IIOPProfile:
+    """A concrete endpoint profile: node id, port number, object key."""
+
+    __slots__ = ("host", "port", "object_key")
+
+    def __init__(self, host, port, object_key):
+        self.host = host
+        self.port = port
+        self.object_key = object_key
+
+    def encode(self, enc):
+        enc.ulong(_TAG_IIOP)
+        enc.string(self.host)
+        enc.ulong(self.port)
+        enc.string(self.object_key)
+
+    @classmethod
+    def decode(cls, dec):
+        return cls(dec.string(), dec.ulong(), dec.string())
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, IIOPProfile)
+            and (self.host, self.port, self.object_key)
+            == (other.host, other.port, other.object_key)
+        )
+
+    def __hash__(self):
+        return hash((self.host, self.port, self.object_key))
+
+    def __repr__(self):
+        return "IIOPProfile(%s:%d, key=%s)" % (self.host, self.port, self.object_key)
+
+
+class FTGroupProfile:
+    """An object-group profile: group domain + group name + version.
+
+    ``version`` increases with group membership changes so that stale
+    references can be detected (FT-CORBA's object group version).
+    """
+
+    __slots__ = ("domain", "group_name", "version")
+
+    def __init__(self, domain, group_name, version=0):
+        self.domain = domain
+        self.group_name = group_name
+        self.version = version
+
+    def encode(self, enc):
+        enc.ulong(_TAG_FT_GROUP)
+        enc.string(self.domain)
+        enc.string(self.group_name)
+        enc.ulong(self.version)
+
+    @classmethod
+    def decode(cls, dec):
+        return cls(dec.string(), dec.string(), dec.ulong())
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FTGroupProfile)
+            and (self.domain, self.group_name, self.version)
+            == (other.domain, other.group_name, other.version)
+        )
+
+    def __hash__(self):
+        return hash((self.domain, self.group_name, self.version))
+
+    def __repr__(self):
+        return "FTGroupProfile(%s/%s, v%d)" % (
+            self.domain, self.group_name, self.version,
+        )
+
+
+class IOR:
+    """An object reference: type id + profiles."""
+
+    def __init__(self, type_id, profiles):
+        if not profiles:
+            raise InvObjref("IOR must carry at least one profile")
+        self.type_id = type_id
+        self.profiles = tuple(profiles)
+
+    def iiop_profiles(self):
+        return [p for p in self.profiles if isinstance(p, IIOPProfile)]
+
+    def group_profile(self):
+        """The FT group profile, or None for an unreplicated reference."""
+        for profile in self.profiles:
+            if isinstance(profile, FTGroupProfile):
+                return profile
+        return None
+
+    def is_group_reference(self):
+        return self.group_profile() is not None
+
+    # ------------------------------------------------------------------
+    # Stringification
+    # ------------------------------------------------------------------
+
+    def to_string(self):
+        """Stringify as ``IOR:<hex>`` (CORBA object_to_string)."""
+        enc = CdrEncoder()
+        enc.string(self.type_id)
+        enc.ulong(len(self.profiles))
+        for profile in self.profiles:
+            profile.encode(enc)
+        return "IOR:" + binascii.hexlify(enc.getvalue()).decode("ascii")
+
+    @classmethod
+    def from_string(cls, text):
+        """Parse a stringified reference (CORBA string_to_object)."""
+        if not text.startswith("IOR:"):
+            raise InvObjref("reference does not start with IOR:")
+        try:
+            data = binascii.unhexlify(text[4:])
+        except (binascii.Error, ValueError):
+            raise InvObjref("invalid hex in stringified IOR") from None
+        dec = CdrDecoder(data)
+        type_id = dec.string()
+        count = dec.ulong()
+        profiles = []
+        for _ in range(count):
+            tag = dec.ulong()
+            if tag == _TAG_IIOP:
+                profiles.append(IIOPProfile.decode(dec))
+            elif tag == _TAG_FT_GROUP:
+                profiles.append(FTGroupProfile.decode(dec))
+            else:
+                raise InvObjref("unknown profile tag %d" % tag)
+        return cls(type_id, profiles)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, IOR)
+            and self.type_id == other.type_id
+            and self.profiles == other.profiles
+        )
+
+    def __hash__(self):
+        return hash((self.type_id, self.profiles))
+
+    def __repr__(self):
+        return "IOR(%s, %s)" % (self.type_id, list(self.profiles))

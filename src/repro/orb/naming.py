@@ -1,0 +1,165 @@
+"""A CORBA Naming Service: the bootstrap directory for object references.
+
+CORBA applications find each other through the Naming Service
+(CosNaming): servers bind stringified references under hierarchical
+names, clients resolve them.  In the Eternal setting the naming service
+is itself a replicated object group -- its availability is as critical as
+the application's -- so the servant implements the Checkpointable
+contract and can be hosted under any replication style.
+
+Names are sequences of (id, kind) components, written here in the
+standard string form ``id.kind/id.kind/...`` (kind may be empty).
+"""
+
+from repro.orb.exceptions import ApplicationError
+from repro.orb.idl import Servant, operation
+from repro.state.checkpointable import Checkpointable
+
+
+class NotFound(ApplicationError):
+    def __init__(self, name):
+        super().__init__("NotFound", name)
+
+
+class AlreadyBound(ApplicationError):
+    def __init__(self, name):
+        super().__init__("AlreadyBound", name)
+
+
+class InvalidName(ApplicationError):
+    def __init__(self, name):
+        super().__init__("InvalidName", name)
+
+
+def parse_name(name):
+    """Split ``id.kind/id.kind`` into a tuple of (id, kind) pairs."""
+    if not name or name.startswith("/") or name.endswith("/"):
+        raise InvalidName(name)
+    components = []
+    for part in name.split("/"):
+        if not part:
+            raise InvalidName(name)
+        identifier, _, kind = part.partition(".")
+        if not identifier:
+            raise InvalidName(name)
+        components.append((identifier, kind))
+    return tuple(components)
+
+
+def format_name(components):
+    """Inverse of :func:`parse_name`."""
+    return "/".join(
+        "%s.%s" % (identifier, kind) if kind else identifier
+        for identifier, kind in components
+    )
+
+
+class NamingContext(Servant, Checkpointable):
+    """The naming service servant (a flattened CosNaming context tree).
+
+    The whole tree lives in one servant keyed by full path, which keeps
+    the replicated state a single marshalable value; ``bind_new_context``
+    creates interior nodes explicitly, and binding under a missing
+    context raises NotFound, as CosNaming requires.
+    """
+
+    def __init__(self):
+        # path tuple -> ("object", stringified IOR) | ("context", None)
+        self.bindings = {(): ("context", None)}
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+
+    def _require_parent(self, components):
+        parent = components[:-1]
+        entry = self.bindings.get(parent)
+        if entry is None or entry[0] != "context":
+            raise NotFound(format_name(components))
+
+    @operation()
+    def bind(self, name, ior_string):
+        """Bind an object reference; raises AlreadyBound on conflict."""
+        components = parse_name(name)
+        self._require_parent(components)
+        if components in self.bindings:
+            raise AlreadyBound(name)
+        self.bindings[components] = ("object", ior_string)
+        return True
+
+    @operation()
+    def rebind(self, name, ior_string):
+        """Bind, replacing any existing object binding."""
+        components = parse_name(name)
+        self._require_parent(components)
+        existing = self.bindings.get(components)
+        if existing is not None and existing[0] == "context":
+            raise AlreadyBound(name)
+        self.bindings[components] = ("object", ior_string)
+        return True
+
+    @operation()
+    def bind_new_context(self, name):
+        """Create a sub-context (interior directory node)."""
+        components = parse_name(name)
+        self._require_parent(components)
+        if components in self.bindings:
+            raise AlreadyBound(name)
+        self.bindings[components] = ("context", None)
+        return True
+
+    @operation()
+    def unbind(self, name):
+        """Remove a binding; contexts must be empty."""
+        components = parse_name(name)
+        entry = self.bindings.get(components)
+        if entry is None:
+            raise NotFound(name)
+        if entry[0] == "context":
+            for other in self.bindings:
+                if other[:len(components)] == components and other != components:
+                    raise ApplicationError("NotEmpty", name)
+        del self.bindings[components]
+        return True
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    @operation(read_only=True)
+    def resolve(self, name):
+        """Look up an object binding; returns the stringified IOR."""
+        components = parse_name(name)
+        entry = self.bindings.get(components)
+        if entry is None or entry[0] != "object":
+            raise NotFound(name)
+        return entry[1]
+
+    @operation(read_only=True)
+    def list_bindings(self, context_name=""):
+        """Direct children of a context: list of (name, type) pairs."""
+        prefix = parse_name(context_name) if context_name else ()
+        entry = self.bindings.get(prefix)
+        if entry is None or entry[0] != "context":
+            raise NotFound(context_name or "<root>")
+        children = []
+        for components, (binding_type, _value) in sorted(self.bindings.items()):
+            if len(components) == len(prefix) + 1 and components[:-1] == prefix:
+                children.append((format_name(components[-1:]), binding_type))
+        return children
+
+    # ------------------------------------------------------------------
+    # Checkpointable
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        return [
+            [list(list(c) for c in components), binding_type, value]
+            for components, (binding_type, value) in sorted(self.bindings.items())
+        ]
+
+    def set_state(self, state):
+        self.bindings = {
+            tuple(tuple(c) for c in components): (binding_type, value)
+            for components, binding_type, value in state
+        }

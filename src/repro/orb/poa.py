@@ -1,0 +1,185 @@
+"""Portable Object Adapter: servant registration and request dispatch.
+
+The POA owns the object-key namespace of one ORB, maps incoming GIOP
+Requests to servant methods, marshals results into Replies, and drives
+generator-based servant methods through their nested invocations.
+"""
+
+from repro.orb.cdr import decode_value, encode_value
+from repro.orb.exceptions import (
+    ApplicationError,
+    BadOperation,
+    MarshalError,
+    ObjectNotExist,
+    SystemException,
+)
+from repro.orb.giop import ReplyMessage, ReplyStatus
+from repro.orb.idl import NestedCall, interface_of
+from repro.orb.ior import IIOPProfile, IOR
+
+
+class POA:
+    """Object adapter for one ORB."""
+
+    def __init__(self, orb, name="RootPOA"):
+        self.orb = orb
+        self.name = name
+        self._servants = {}
+        self._counter = 0
+        # Optional hook invoked for requests whose object key has no local
+        # servant: ``default_handler(request, respond) -> bool`` returns
+        # True if it took responsibility for responding.  Used by the
+        # gateway to forward group-addressed requests from unreplicated
+        # external clients into the replication domain.
+        self.default_handler = None
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+
+    def activate(self, servant, object_key=None):
+        """Register a servant; returns its (unreplicated) IOR."""
+        if object_key is None:
+            self._counter += 1
+            object_key = "%s/%s/%d" % (
+                self.name, type(servant).__name__, self._counter,
+            )
+        if object_key in self._servants:
+            raise ValueError("object key %r already active" % object_key)
+        self._servants[object_key] = servant
+        interface = interface_of(servant)
+        profile = IIOPProfile(self.orb.node_id, self.orb.port, object_key)
+        return IOR(interface.repository_id, [profile])
+
+    def deactivate(self, object_key):
+        """Unregister a servant; later requests get OBJECT_NOT_EXIST."""
+        self._servants.pop(object_key, None)
+
+    def servant(self, object_key):
+        """Look up an active servant by key (or None)."""
+        return self._servants.get(object_key)
+
+    def object_keys(self):
+        return list(self._servants)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request, respond, context=None):
+        """Execute a GIOP Request against the target servant.
+
+        ``respond(reply_message_or_None)`` is called exactly once with the
+        Reply (or None for oneway requests).  Generator-based servant
+        methods suspend on nested invocations; ``respond`` then fires when
+        the final result is available.
+
+        ``context`` is an opaque execution context installed as
+        ``orb.current_context`` while servant code runs, so nested
+        invocations can be attributed to the operation that issued them
+        (the replication layer derives nested operation identifiers from
+        it).
+        """
+        previous = self.orb.current_context
+        self.orb.current_context = context
+        try:
+            try:
+                servant = self._servants.get(request.object_key)
+                if servant is None and self.default_handler is not None:
+                    if self.default_handler(request, respond):
+                        return
+                if servant is None:
+                    raise ObjectNotExist("no servant for key %r" % request.object_key)
+                interface = interface_of(servant)
+                interface.operation_info(request.operation)
+                args = decode_value(request.body)
+                if not isinstance(args, tuple):
+                    raise MarshalError("request body must be an argument tuple")
+                method = getattr(servant, request.operation)
+                result = method(*args)
+            except Exception as exc:  # noqa: BLE001 - mapped to GIOP reply statuses
+                respond(self._exception_reply(request, exc))
+                return
+            if _is_generator(result):
+                self._drive(request, respond, result, None, None, context)
+            else:
+                respond(self._success_reply(request, result))
+        finally:
+            self.orb.current_context = previous
+
+    def _drive(self, request, respond, generator, send_value, throw_exc, context):
+        """Resume a generator servant method with a nested-call result."""
+        previous = self.orb.current_context
+        self.orb.current_context = context
+        try:
+            try:
+                if throw_exc is not None:
+                    yielded = generator.throw(throw_exc)
+                else:
+                    yielded = generator.send(send_value)
+            except StopIteration as stop:
+                respond(self._success_reply(request, stop.value))
+                return
+            except Exception as exc:  # noqa: BLE001
+                respond(self._exception_reply(request, exc))
+                return
+            if not isinstance(yielded, NestedCall):
+                respond(self._exception_reply(
+                    request,
+                    BadOperation("servant generator yielded %r, expected NestedCall"
+                                 % type(yielded).__name__),
+                ))
+                return
+            future = self.orb.invoke(yielded.target, yielded.operation, yielded.args)
+        finally:
+            self.orb.current_context = previous
+
+        def resume(fut):
+            if fut.exception() is not None:
+                self._drive(request, respond, generator, None, fut.exception(), context)
+            else:
+                self._drive(request, respond, generator, fut.result(), None, context)
+
+        future.add_done_callback(resume)
+
+    # ------------------------------------------------------------------
+    # Reply construction
+    # ------------------------------------------------------------------
+
+    def _success_reply(self, request, result):
+        if not request.response_expected:
+            return None
+        return ReplyMessage(
+            request.request_id, ReplyStatus.NO_EXCEPTION, encode_value(result)
+        )
+
+    def _exception_reply(self, request, exc):
+        from repro.orb.exceptions import ForwardRequest
+
+        if isinstance(exc, ForwardRequest):
+            if not request.response_expected:
+                return None
+            ior = exc.forward_ior
+            ior_string = ior if isinstance(ior, str) else ior.to_string()
+            return ReplyMessage(
+                request.request_id, ReplyStatus.LOCATION_FORWARD,
+                encode_value(ior_string),
+            )
+        self.orb.sim.emit(
+            "orb.dispatch.error",
+            {"op": request.operation, "error": type(exc).__name__},
+        )
+        if not request.response_expected:
+            return None
+        if isinstance(exc, SystemException):
+            body = encode_value((exc.name, exc.detail, exc.minor))
+            return ReplyMessage(request.request_id, ReplyStatus.SYSTEM_EXCEPTION, body)
+        if isinstance(exc, ApplicationError):
+            body = encode_value((exc.exc_type, exc.detail))
+            return ReplyMessage(request.request_id, ReplyStatus.USER_EXCEPTION, body)
+        body = encode_value((type(exc).__name__, str(exc)))
+        return ReplyMessage(request.request_id, ReplyStatus.USER_EXCEPTION, body)
+
+
+def _is_generator(obj):
+    return hasattr(obj, "send") and hasattr(obj, "throw") and hasattr(obj, "__next__")

@@ -1,0 +1,310 @@
+"""TCP-like reliable point-to-point transport over the simulated network.
+
+The unreplicated ORB path (the paper's baseline) runs over connections with
+TCP semantics: connection setup, ordered reliable byte-message delivery
+with acknowledgement and retransmission, orderly close, and failure
+detection when the peer stops acknowledging.  Eternal's gateway also uses
+this transport to serve unreplicated clients.
+
+Segments ride the simnet as tuples; the per-flow FIFO of the network model
+plus the ack/retransmit logic here gives reliability under message loss,
+and retransmission exhaustion maps to ``COMM_FAILURE``.
+"""
+
+from repro.orb.exceptions import CommFailure
+
+_PORT = "tcp"
+_HEADER_BYTES = 48
+
+
+class Connection:
+    """One endpoint of an established connection.
+
+    ``send`` transmits a bytes payload; the peer's ``on_message(conn,
+    payload)`` callback receives it.  ``on_close(conn, error)`` fires on
+    orderly close (error None) or failure (a :class:`CommFailure`).
+    """
+
+    def __init__(self, transport, conn_id, peer_node, peer_conn_id=None):
+        self.transport = transport
+        self.conn_id = conn_id
+        self.peer_node = peer_node
+        self.peer_conn_id = peer_conn_id
+        self.on_message = lambda conn, payload: None
+        self.on_close = lambda conn, error: None
+        self.established = False
+        self.closed = False
+        # Sender state.
+        self._next_seq = 1
+        self._unacked = {}
+        self._retransmit_timers = {}
+        self._pending = []  # payloads queued before the handshake completes
+        # Receiver state.
+        self._expected = 1
+        self._out_of_order = {}
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, payload):
+        """Send a bytes payload reliably; raises if the connection is closed."""
+        if self.closed:
+            raise CommFailure("send on closed connection %s" % self.conn_id)
+        if not self.established:
+            self._pending.append(payload)
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = payload
+        self._transmit(seq, payload, attempt=0)
+
+    def _transmit(self, seq, payload, attempt):
+        if self.closed:
+            return
+        transport = self.transport
+        if attempt > transport.max_retries:
+            self._fail(CommFailure("retransmission limit to %s" % self.peer_node))
+            return
+        transport.net.send(
+            transport.node_id,
+            self.peer_node,
+            _PORT,
+            ("data", self.peer_conn_id, self.conn_id, seq, payload),
+            size=_HEADER_BYTES + len(payload),
+        )
+        timer = transport.node.timer(
+            transport.rto * (attempt + 1),
+            lambda: self._maybe_retransmit(seq, payload, attempt + 1),
+            "tcp.rto",
+        )
+        self._retransmit_timers[seq] = timer
+
+    def _maybe_retransmit(self, seq, payload, attempt):
+        if self.closed or seq not in self._unacked:
+            return
+        self.transport.sim.emit("tcp.retransmit", {"conn": self.conn_id, "seq": seq})
+        self._transmit(seq, payload, attempt)
+
+    def _handle_ack(self, seq):
+        self._unacked.pop(seq, None)
+        timer = self._retransmit_timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, seq, payload):
+        self.transport.net.send(
+            self.transport.node_id,
+            self.peer_node,
+            _PORT,
+            ("ack", self.peer_conn_id, seq),
+            size=_HEADER_BYTES,
+        )
+        if seq < self._expected or seq in self._out_of_order:
+            return  # duplicate from retransmission
+        self._out_of_order[seq] = payload
+        while self._expected in self._out_of_order:
+            data = self._out_of_order.pop(self._expected)
+            self._expected += 1
+            self.on_message(self, data)
+
+    # ------------------------------------------------------------------
+    # Close / failure
+    # ------------------------------------------------------------------
+
+    def close(self):
+        """Orderly close; notifies the peer with a FIN segment."""
+        if self.closed:
+            return
+        self.transport.net.send(
+            self.transport.node_id,
+            self.peer_node,
+            _PORT,
+            ("fin", self.peer_conn_id),
+            size=_HEADER_BYTES,
+        )
+        self._teardown(None)
+
+    def _fail(self, error):
+        if not self.closed:
+            self.transport.sim.emit("tcp.fail", {"conn": self.conn_id})
+            self._teardown(error)
+
+    def _teardown(self, error):
+        self.closed = True
+        for timer in self._retransmit_timers.values():
+            timer.cancel()
+        self._retransmit_timers.clear()
+        self._unacked.clear()
+        self.transport._forget(self.conn_id)
+        self.on_close(self, error)
+
+    def __repr__(self):
+        state = "closed" if self.closed else ("up" if self.established else "opening")
+        return "Connection(%s->%s, %s)" % (
+            self.conn_id, self.peer_node, state,
+        )
+
+
+class Acceptor:
+    """A listening port; invokes ``on_accept(connection)`` for new peers."""
+
+    def __init__(self, transport, port, on_accept):
+        self.transport = transport
+        self.port = port
+        self.on_accept = on_accept
+
+    def close(self):
+        self.transport._acceptors.pop(self.port, None)
+
+
+class TcpTransport:
+    """Per-node connection manager."""
+
+    def __init__(self, network, node, rto=0.02, max_retries=5, connect_timeout=0.25):
+        self.net = network
+        self.sim = network.sim
+        self.node = node
+        self.node_id = node.node_id
+        self.rto = rto
+        self.max_retries = max_retries
+        self.connect_timeout = connect_timeout
+        self._acceptors = {}
+        self._connections = {}
+        self._accepted = {}  # (peer, peer conn id) -> server-side Connection
+        self._conn_counter = 0
+        node.bind(_PORT, self._on_segment)
+        node.on_crash(lambda _n: self._on_crash())
+        node.on_recover(lambda _n: node.bind(_PORT, self._on_segment))
+
+    def listen(self, port, on_accept):
+        """Accept incoming connections on a numbered port."""
+        if port in self._acceptors:
+            raise ValueError("port %d already listening on %s" % (port, self.node_id))
+        acceptor = Acceptor(self, port, on_accept)
+        self._acceptors[port] = acceptor
+        return acceptor
+
+    def connect(self, remote_node, remote_port, on_connected, on_failed=None):
+        """Open a connection; ``on_connected(conn)`` fires when established.
+
+        ``on_failed(error)`` fires if the SYN goes unanswered (peer down or
+        not listening).
+        """
+        conn = Connection(self, self._new_conn_id(), remote_node)
+        self._connections[conn.conn_id] = conn
+
+        def send_syn():
+            self.net.send(
+                self.node_id,
+                remote_node,
+                _PORT,
+                ("syn", conn.conn_id, remote_port),
+                size=_HEADER_BYTES,
+            )
+
+        send_syn()
+
+        # SYN retransmission: the handshake must survive message loss.
+        def resend(attempt=1):
+            if conn.established or conn.closed:
+                return
+            if attempt <= 3:
+                self.sim.emit("tcp.syn.retransmit", {"conn": conn.conn_id})
+                send_syn()
+                self.node.timer(
+                    self.connect_timeout / 4,
+                    lambda: resend(attempt + 1),
+                    "tcp.syn.retry",
+                )
+
+        self.node.timer(self.connect_timeout / 4, resend, "tcp.syn.retry")
+
+        def timeout():
+            if not conn.established and not conn.closed:
+                conn.closed = True
+                self._forget(conn.conn_id)
+                if on_failed is not None:
+                    on_failed(CommFailure("connect to %s:%d timed out"
+                                          % (remote_node, remote_port)))
+
+        conn._on_connected = on_connected
+        self.node.timer(self.connect_timeout, timeout, "tcp.connect")
+        return conn
+
+    def _new_conn_id(self):
+        self._conn_counter += 1
+        return "%s#%d" % (self.node_id, self._conn_counter)
+
+    def _forget(self, conn_id):
+        self._connections.pop(conn_id, None)
+
+    def _on_crash(self):
+        self._acceptors.clear()
+        self._connections.clear()
+        self._accepted.clear()
+
+    # ------------------------------------------------------------------
+    # Segment handling
+    # ------------------------------------------------------------------
+
+    def _on_segment(self, src, segment, size):
+        kind = segment[0]
+        if kind == "syn":
+            remote_conn_id, port = segment[1], segment[2]
+            acceptor = self._acceptors.get(port)
+            if acceptor is None:
+                return  # connection refused: SYN times out at the caller
+            # Duplicate SYN (retransmitted handshake): re-ack, don't
+            # create a second connection.
+            existing = self._accepted.get((src, remote_conn_id))
+            if existing is not None and not existing.closed:
+                self.net.send(
+                    self.node_id, src, _PORT,
+                    ("syn_ack", remote_conn_id, existing.conn_id),
+                    size=_HEADER_BYTES,
+                )
+                return
+            conn = Connection(self, self._new_conn_id(), src, remote_conn_id)
+            conn.established = True
+            self._connections[conn.conn_id] = conn
+            self._accepted[(src, remote_conn_id)] = conn
+            acceptor.on_accept(conn)
+            self.net.send(
+                self.node_id, src, _PORT,
+                ("syn_ack", remote_conn_id, conn.conn_id),
+                size=_HEADER_BYTES,
+            )
+        elif kind == "syn_ack":
+            conn_id, peer_conn_id = segment[1], segment[2]
+            conn = self._connections.get(conn_id)
+            if conn is None or conn.established:
+                return
+            conn.peer_conn_id = peer_conn_id
+            conn.established = True
+            pending, conn._pending = conn._pending, []
+            for payload in pending:
+                conn.send(payload)
+            callback = getattr(conn, "_on_connected", None)
+            if callback is not None:
+                callback(conn)
+        elif kind == "data":
+            conn = self._connections.get(segment[1])
+            if conn is not None and not conn.closed:
+                conn._handle_data(segment[3], segment[4])
+        elif kind == "ack":
+            conn = self._connections.get(segment[1])
+            if conn is not None:
+                conn._handle_ack(segment[2])
+        elif kind == "fin":
+            conn = self._connections.get(segment[1])
+            if conn is not None and not conn.closed:
+                conn.closed = True
+                for timer in conn._retransmit_timers.values():
+                    timer.cancel()
+                self._forget(conn.conn_id)
+                conn.on_close(conn, None)

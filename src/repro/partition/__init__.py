@@ -1,0 +1,25 @@
+"""Partition handling: primary-component determination and fulfillment.
+
+During a partition every component keeps operating (the Eternal model).
+At remerge, one component per object group is retroactively the *primary*
+component: its state is adopted by everyone, and the operations the other
+(secondary) components performed meanwhile are re-executed on the merged
+state as *fulfillment operations*, letting the application resolve
+conflicts (e.g. back-ordering an oversold item).
+
+This package holds the pure decision logic; the replication engine feeds
+it from the totally ordered delivery stream.
+"""
+
+from repro.partition.primary import (
+    derive_side_representative,
+    should_adopt_capture,
+)
+from repro.partition.fulfillment import FulfillmentPlan, divergent_operations
+
+__all__ = [
+    "derive_side_representative",
+    "should_adopt_capture",
+    "FulfillmentPlan",
+    "divergent_operations",
+]

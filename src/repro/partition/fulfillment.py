@@ -1,0 +1,60 @@
+"""Fulfillment operations: replaying secondary-component work at remerge."""
+
+
+def divergent_operations(completed_order, completed_journal, their_completed):
+    """Operations we completed that the primary component never saw.
+
+    Args:
+        completed_order: our operation ids in completion order.
+        completed_journal: op id -> (request_bytes, client_group); entries
+            with no recorded request bytes cannot be replayed and are
+            skipped (e.g. operations completed via a state update whose
+            request this replica never delivered).
+        their_completed: the primary component's completed op-id set, taken
+            from the adopted capture's infrastructure state.
+
+    Returns a list of (op_id, request_bytes, client_group) in the original
+    completion order.  Fulfillment re-executions of earlier fulfillment
+    operations are excluded (an op id starting with ``"f"`` is already a
+    fulfillment op).
+    """
+    result = []
+    for operation_id in completed_order:
+        if operation_id in their_completed:
+            continue
+        if operation_id and operation_id[0] == "f":
+            continue
+        request_bytes, client_group = completed_journal.get(
+            operation_id, (None, None)
+        )
+        if request_bytes is None:
+            continue
+        result.append((operation_id, request_bytes, client_group))
+    return result
+
+
+class FulfillmentPlan:
+    """The reconciliation work a secondary-component replica must do.
+
+    Built when a primary-component capture is adopted; consumed by the
+    engine, which multicasts one fulfillment request per divergent
+    operation (duplicate-suppressed across the secondary side's members,
+    since every member derives the identical plan).
+    """
+
+    def __init__(self, group, divergent):
+        self.group = group
+        self.divergent = list(divergent)
+
+    @property
+    def empty(self):
+        return not self.divergent
+
+    def __len__(self):
+        return len(self.divergent)
+
+    def __iter__(self):
+        return iter(self.divergent)
+
+    def __repr__(self):
+        return "FulfillmentPlan(%s, %d ops)" % (self.group, len(self.divergent))

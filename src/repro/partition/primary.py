@@ -1,0 +1,42 @@
+"""Primary-component determination at partition and remerge.
+
+A replica's *side* is the partition component it has stayed consistent
+with; the side's representative is its minimum hosting-node id.  Because a
+capture is only ever sponsored by a side's representative, comparing the
+sponsor id with our own side representative decides, per object group,
+which component is primary -- without any extra agreement protocol:
+
+- ``sponsor >= side_rep``: the capture comes from our own side (or from a
+  side we outrank); we are in the primary component, nothing to adopt.
+- ``sponsor < side_rep``: the capture's side is primary; we were the
+  secondary component and must adopt it and replay our divergent
+  operations as fulfillment operations.
+
+Different groups may resolve to different primary components in the same
+remerge (a component may host the lowest member of one group but not
+another), matching the paper's per-object primary component model.
+"""
+
+
+def derive_side_representative(group_members, transitional_members, me):
+    """The representative of this replica's partition side.
+
+    Computed when the EVS transitional configuration is delivered: of the
+    group's members, those present in the transitional membership moved
+    together with us and form our side.
+    """
+    side_hosts = (set(group_members) & set(transitional_members)) | {me}
+    return min(side_hosts)
+
+
+def should_adopt_capture(sponsor, side_rep, me):
+    """Whether a delivered state capture binds a *ready* replica.
+
+    Returns True exactly when the capture's sponsor outranks our side's
+    representative -- i.e. our component is the secondary one for this
+    group.
+    """
+    if sponsor == me:
+        return False
+    effective = side_rep if side_rep is not None else me
+    return sponsor < effective

@@ -1,0 +1,54 @@
+"""Eternal-style replication mechanisms: the paper's primary contribution.
+
+Layers (bottom to top):
+
+- :mod:`identifiers` -- operation/invocation identifiers for duplicate
+  suppression across replicated clients and servers, including nested
+  operations;
+- :mod:`duplicates` -- sender- and receiver-side suppression tables;
+- :mod:`styles` -- active, warm/cold passive, and semi-active replication
+  policies;
+- :mod:`replica` -- per-node replica state (logs, tables, dispatcher);
+- :mod:`engine` -- the per-node mechanism engine: ORB interception, style
+  execution, state transfer, failover, partition reconciliation;
+- :mod:`manager` -- the FT-CORBA-style ReplicationManager management
+  plane (object group creation, membership, degree restoration);
+- :mod:`election` -- deterministic primary/sponsor election from totally
+  ordered membership views.
+"""
+
+from repro.replication.duplicates import DuplicateTables
+from repro.replication.election import choose_primary, choose_state_sponsor, is_primary
+from repro.replication.engine import GroupRouter, ReplicationEngine
+from repro.replication.identifiers import (
+    ExecutionContext,
+    InvocationId,
+    OperationIdAllocator,
+    fulfillment_operation_id,
+    nested_operation_id,
+    top_level_operation_id,
+)
+from repro.replication.manager import ObjectGroupRecord, ReplicationManager
+from repro.replication.replica import LocalReplica, PendingRequest
+from repro.replication.styles import GroupPolicy, ReplicationStyle
+
+__all__ = [
+    "DuplicateTables",
+    "choose_primary",
+    "choose_state_sponsor",
+    "is_primary",
+    "GroupRouter",
+    "ReplicationEngine",
+    "ExecutionContext",
+    "InvocationId",
+    "OperationIdAllocator",
+    "fulfillment_operation_id",
+    "nested_operation_id",
+    "top_level_operation_id",
+    "ObjectGroupRecord",
+    "ReplicationManager",
+    "LocalReplica",
+    "PendingRequest",
+    "GroupPolicy",
+    "ReplicationStyle",
+]

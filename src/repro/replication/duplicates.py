@@ -1,0 +1,120 @@
+"""Duplicate detection and suppression tables.
+
+One table per hosted object group.  Delivered requests and replies are
+keyed by operation identifier; the table answers the two questions the
+mechanisms ask on every delivery:
+
+- *receiver side*: has this operation already been executed here?  (If so
+  the delivery is a redundant invocation: do not execute again; re-send
+  the cached reply if one exists -- the paper's new-primary reinvocation
+  case.)
+- *sender side*: has a peer's copy of the invocation/reply I am about to
+  send already been delivered?  (If so suppress my own send.)
+
+The table is part of the *infrastructure state* tier: it is included in
+state transfers so a new replica does not re-execute operations that
+completed before it joined.
+"""
+
+
+class DuplicateTables:
+    """Suppression state for one object group at one node."""
+
+    def __init__(self):
+        # operation id -> "executing" | "completed"
+        self.request_status = {}
+        # operation id -> encoded GIOP reply bytes (completed ops)
+        self.reply_cache = {}
+        # operation ids of replies already delivered (sender suppression)
+        self.replies_seen = set()
+        # counters reported by benchmarks
+        self.suppressed_requests = 0
+        self.suppressed_replies = 0
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def is_new_request(self, operation_id):
+        return operation_id not in self.request_status
+
+    def note_executing(self, operation_id):
+        self.request_status[operation_id] = "executing"
+
+    def note_completed(self, operation_id, reply_bytes=None):
+        self.request_status[operation_id] = "completed"
+        if reply_bytes is not None:
+            self.reply_cache[operation_id] = bytes(reply_bytes)
+
+    def status(self, operation_id):
+        return self.request_status.get(operation_id)
+
+    def cached_reply(self, operation_id):
+        return self.reply_cache.get(operation_id)
+
+    def note_suppressed_request(self):
+        self.suppressed_requests += 1
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+
+    def note_reply_seen(self, operation_id):
+        self.replies_seen.add(operation_id)
+
+    def reply_already_seen(self, operation_id):
+        return operation_id in self.replies_seen
+
+    def note_suppressed_reply(self):
+        self.suppressed_replies += 1
+
+    # ------------------------------------------------------------------
+    # State transfer (infrastructure tier)
+    # ------------------------------------------------------------------
+
+    def capture(self):
+        """Marshalable snapshot for the infrastructure state tier."""
+        return {
+            "request_status": [
+                [list(op), status] for op, status in sorted(
+                    self.request_status.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+            "reply_cache": [
+                [list(op), data] for op, data in sorted(
+                    self.reply_cache.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+            "replies_seen": sorted(
+                (list(op) for op in self.replies_seen), key=repr
+            ),
+        }
+
+    @classmethod
+    def restore(cls, snapshot):
+        tables = cls()
+        tables.request_status = {
+            _tuplify(op): status for op, status in snapshot["request_status"]
+        }
+        tables.reply_cache = {
+            _tuplify(op): bytes(data) for op, data in snapshot["reply_cache"]
+        }
+        tables.replies_seen = {_tuplify(op) for op in snapshot["replies_seen"]}
+        return tables
+
+    def completed_operation_ids(self):
+        return {
+            op for op, status in self.request_status.items() if status == "completed"
+        }
+
+    def __repr__(self):
+        return "DuplicateTables(%d requests, %d cached replies)" % (
+            len(self.request_status), len(self.reply_cache),
+        )
+
+
+def _tuplify(value):
+    """Recursively convert lists back to tuples (CDR round-trip helper)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value

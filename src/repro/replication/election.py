@@ -1,0 +1,30 @@
+"""Deterministic primary election within an object group.
+
+Group membership views are delivered in total order by the process-group
+layer, so every member sees the same sequence of views; electing the
+minimum member id therefore needs no extra protocol and never produces two
+primaries within one connected component.  (Across partition components,
+each component elects its own primary -- the paper's continued-operation
+model -- and the partition module reconciles at remerge.)
+"""
+
+
+def choose_primary(members):
+    """The primary replica's node id for a membership view (or None)."""
+    members = sorted(members)
+    return members[0] if members else None
+
+
+def choose_state_sponsor(old_members, new_members):
+    """Which member sends state to joiners at a view change.
+
+    The sponsor must already hold the group state, so it is the minimum
+    *surviving* member (present in both views).  Returns None when nobody
+    survives (the group is bootstrapping -- there is no state to send).
+    """
+    survivors = sorted(set(old_members) & set(new_members))
+    return survivors[0] if survivors else None
+
+
+def is_primary(node_id, members):
+    return choose_primary(members) == node_id

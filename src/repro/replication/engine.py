@@ -1,0 +1,931 @@
+"""The Eternal replication engine: interception, styles, consistency.
+
+One :class:`ReplicationEngine` runs per node.  It wires together the three
+planes the paper's architecture describes:
+
+- **Interception**: it installs itself as the node ORB's router, so every
+  GIOP Request aimed at a group reference is diverted -- as encoded GIOP
+  bytes, exactly like Eternal's IIOP interception -- into the group
+  communication system instead of a TCP connection.  Application and ORB
+  code are unchanged.
+- **Replication mechanisms**: per hosted replica it executes the style
+  logic (active / warm passive / cold passive / semi-active), duplicate
+  suppression on both the sender and receiver sides, nested-operation
+  identifier propagation, passive state updates, cold checkpoints, and
+  view-driven failover.
+- **Recovery mechanisms**: sponsor-side state capture (blocking or
+  chunked incremental) for joining replicas, buffered catch-up at the
+  joiner, and partition-remerge reconciliation with fulfillment
+  operations.
+
+Everything the engine decides is a deterministic function of the totally
+ordered delivery stream, which is what makes the replicas consistent.
+"""
+
+from repro.orb.giop import decode_message, encode_message
+from repro.partition.fulfillment import FulfillmentPlan, divergent_operations
+from repro.partition.primary import (
+    derive_side_representative,
+    should_adopt_capture,
+)
+from repro.orb.ior import IOR, FTGroupProfile
+from repro.replication.election import choose_primary
+from repro.replication.identifiers import (
+    ExecutionContext,
+    OperationIdAllocator,
+    fulfillment_operation_id,
+)
+from repro.replication.replica import ExecutionTask, LocalReplica, PendingRequest
+from repro.replication.styles import GroupPolicy, ReplicationStyle
+from repro.state.three_tier import FullStateCapture
+from repro.state.transfer import IncrementalAssembler, IncrementalTransfer
+
+# Envelope kinds shipped over the process-group layer.
+REQUEST = "ft-request"
+REPLY = "ft-reply"
+EXTERNAL_REPLY = "ft-ext-reply"
+STATE_UPDATE = "ft-state-update"
+STATE_UPDATE_IMAGE = "ft-state-update-image"
+CHECKPOINT = "ft-checkpoint"
+STATE_FULL = "ft-state-full"
+STATE_CHUNK = "ft-state-chunk"
+STATE_END = "ft-state-end"
+
+_ENVELOPE_OVERHEAD = 64
+
+
+class GroupRouter:
+    """ORB router diverting group references into the engine."""
+
+    def __init__(self, engine, fallback):
+        self.engine = engine
+        self.fallback = fallback
+
+    def send_request(self, ior, request, future):
+        if ior.is_group_reference():
+            self.engine.send_group_request(ior, request, future)
+            return
+        context = self.engine.orb.current_context
+        if (isinstance(context, ExecutionContext)
+                and context.group in self.engine.replicas):
+            # A replicated operation invoking an *unreplicated* external
+            # object: only the group leader performs the real interaction;
+            # the result is propagated to the peers in total order so every
+            # replica resumes deterministically.
+            self.engine.send_external_request(ior, request, future, context)
+            return
+        self.fallback.send_request(ior, request, future)
+
+    def _with_connection(self, profile, action, on_error):
+        self.fallback._with_connection(profile, action, on_error)
+
+    def close(self):
+        self.fallback.close()
+
+
+class ReplicationEngine:
+    """Eternal mechanisms at one node.
+
+    Args:
+        orb: the node's ORB (its router is replaced -- interception).
+        group_member: the node's process-group endpoint.
+        domain: fault-tolerance domain name recorded in group IORs.
+        client_group: name of this node's client object group.  Replicated
+            clients share one name across their hosting nodes; by default
+            each node forms a singleton client group.
+    """
+
+    def __init__(self, orb, group_member, domain="ft-domain", client_group=None,
+                 request_retry_timeout=0.5, request_retry_limit=3,
+                 sender_side_suppression=True):
+        self.orb = orb
+        self.sim = orb.sim
+        self.node = orb.node
+        self.node_id = orb.node_id
+        self.domain = domain
+        self.groups = group_member
+        # FT-CORBA-style request retransmission: if a reply does not arrive
+        # (e.g. it was delivered only in a configuration this node was not
+        # part of), the request is re-multicast with the same operation
+        # identifier -- duplicate suppression makes the retry safe, and a
+        # primary that already executed it re-sends the cached reply.
+        self.request_retry_timeout = request_retry_timeout
+        self.request_retry_limit = request_retry_limit
+        # Ablation knob (benchmark A1): with sender-side suppression off,
+        # replicas never withdraw queued duplicates nor skip sends they
+        # know are redundant; receiver-side suppression alone keeps the
+        # system correct, at the cost of extra wire traffic.
+        self.sender_side_suppression = sender_side_suppression
+        self.replicas = {}
+        self.client_group = client_group or ("client/%s" % self.node_id)
+        self.allocator = OperationIdAllocator(self.client_group)
+        # op id -> (orb request id, Future) awaiting a reply at this node.
+        self.pending = {}
+        # Client-side suppression state (per client group this node is in).
+        self.client_seen_requests = set()
+        self.client_reply_cache = {}
+        # Incremental-transfer reassembly: (group, sponsor, marker) -> assembler.
+        self._assemblers = {}
+        # Interception: divert group-addressed requests, keep the direct
+        # path for plain IIOP references.
+        orb.router = GroupRouter(self, orb.router)
+        group_member.on_message = self._on_group_message
+        group_member.on_view = self._on_view
+        group_member.on_config_cb = self._on_config
+        group_member.join(self.client_group)
+        # A process crash loses all replica and suppression state; the
+        # recovered incarnation rejoins its client group empty, and the
+        # ReplicationManager re-hosts replicas (ready=False) explicitly.
+        self.node.on_crash(lambda _n: self._on_node_crash())
+        self.node.on_recover(lambda _n: self._on_node_recover())
+
+    def _on_node_crash(self):
+        for group in list(self.replicas):
+            self.orb.poa._servants.pop("group:%s" % group, None)
+        self.replicas.clear()
+        self.pending.clear()
+        self.client_seen_requests.clear()
+        self.client_reply_cache.clear()
+        self._assemblers.clear()
+
+    def _on_node_recover(self):
+        self.groups.join(self.client_group)
+
+    # ------------------------------------------------------------------
+    # Hosting replicas
+    # ------------------------------------------------------------------
+
+    def host_replica(self, group, servant, policy=None, ready=True):
+        """Host a replica of ``group`` with the given servant.
+
+        ``ready=True`` marks a bootstrap replica (initialized by
+        construction); ``ready=False`` marks an added or recovering replica
+        that must receive a state capture from the group before serving.
+        Returns the group IOR.
+        """
+        if group in self.replicas:
+            raise ValueError("node %s already hosts a replica of %s"
+                             % (self.node_id, group))
+        policy = policy or GroupPolicy()
+        replica = LocalReplica(self, group, servant, policy, ready)
+        self.replicas[group] = replica
+        self.orb.poa._servants["group:%s" % group] = servant
+        self.groups.join(group)
+        self.sim.emit("ft.host", {"group": group, "node": self.node_id,
+                                  "style": policy.style, "ready": ready})
+        return self.group_ior(group, servant)
+
+    def unhost_replica(self, group):
+        """Withdraw this node's replica of a group."""
+        replica = self.replicas.pop(group, None)
+        if replica is None:
+            return
+        self.orb.poa._servants.pop("group:%s" % group, None)
+        self.groups.leave(group)
+
+    def group_ior(self, group, servant_or_type_id="IDL:Object:1.0"):
+        """Build the group reference clients invoke."""
+        if isinstance(servant_or_type_id, str):
+            type_id = servant_or_type_id
+        else:
+            from repro.orb.idl import interface_of
+
+            type_id = interface_of(servant_or_type_id).repository_id
+        return IOR(type_id, [FTGroupProfile(self.domain, group)])
+
+    def replica(self, group):
+        return self.replicas.get(group)
+
+    # ------------------------------------------------------------------
+    # Client side: outgoing group requests
+    # ------------------------------------------------------------------
+
+    def send_group_request(self, ior, request, future):
+        group = ior.group_profile().group_name
+        context = self.orb.current_context
+        if isinstance(context, ExecutionContext):
+            operation_id = context.next_nested_id()
+            client_group = context.group
+        else:
+            operation_id = self.allocator.next_top_level()
+            client_group = self.client_group
+        request.service_context["FT"] = {
+            "op": operation_id,
+            "client": client_group,
+            "dest": group,
+        }
+        data = encode_message(request)
+        if request.response_expected:
+            self.pending[operation_id] = (request.request_id, future)
+            self.orb._pending[request.request_id] = future
+            self._arm_request_retry(group, client_group, operation_id, data, 0)
+        else:
+            future.set_result(None)
+        # Sender-side suppression: a peer replica of this client may already
+        # have multicast the same logical operation (we deliver everything
+        # sent to our client group).
+        if operation_id in self.client_seen_requests:
+            cached = self.client_reply_cache.get(operation_id)
+            if cached is not None and request.response_expected:
+                self._resolve_pending(operation_id, decode_message(cached))
+            if self.sender_side_suppression:
+                self.sim.emit("ft.request.suppressed_at_sender",
+                              {"op": repr(operation_id)})
+                return
+        self.sim.emit("ft.request.sent", {"group": group, "node": self.node_id})
+        self.groups.send(
+            (group, client_group),
+            (REQUEST, group, client_group, operation_id, data, False),
+            size=len(data) + _ENVELOPE_OVERHEAD,
+        )
+
+    # ------------------------------------------------------------------
+    # External (unreplicated-target) invocations from replicated code
+    # ------------------------------------------------------------------
+
+    def send_external_request(self, ior, request, future, context):
+        """Leader-performs semantics for plain-IOR targets.
+
+        Every replica of ``context.group`` executes the same operation and
+        reaches this point with the same deterministic operation id.  Only
+        the group's current leader actually opens a connection and invokes
+        the external object; it then multicasts the encoded GIOP reply to
+        the group, and each replica resumes its suspended operation from
+        that ordered delivery.  If the leader dies first, the next leader
+        re-issues the call at the view change (external invocations are
+        therefore at-least-once under leader failover, as with any system
+        that cannot enroll the external party in its protocols).
+        """
+        replica = self.replicas[context.group]
+        operation_id = context.next_nested_id()
+        if request.response_expected:
+            self.pending[operation_id] = (request.request_id, future)
+            self.orb._pending[request.request_id] = future
+        else:
+            future.set_result(None)
+        replica.external_pending[operation_id] = (ior, request)
+        self.sim.emit("ft.external.request", {"group": context.group,
+                                              "leader": replica.primary})
+        if replica.is_primary:
+            self._perform_external(replica, operation_id, ior, request)
+
+    def _perform_external(self, replica, operation_id, ior, request):
+        from repro.gateway.gateway import _reply_from_future
+        from repro.orb.orb_core import Future
+        from repro.orb.giop import RequestMessage
+
+        inner_future = Future(self.sim)
+        inner_request = RequestMessage(
+            self.orb.next_request_id(),
+            request.object_key,
+            request.operation,
+            request.body,
+            response_expected=request.response_expected,
+            service_context=dict(request.service_context),
+        )
+        if inner_request.response_expected:
+            self.orb._pending[inner_request.request_id] = inner_future
+            self.orb._arm_request_timeout(
+                inner_request.request_id, inner_request.operation, None
+            )
+
+        def propagate(fut):
+            reply = _reply_from_future(inner_request, fut)
+            data = encode_message(reply)
+            self.groups.send(
+                (replica.group,),
+                (EXTERNAL_REPLY, replica.group, operation_id, data),
+                size=len(data) + _ENVELOPE_OVERHEAD,
+            )
+
+        if inner_request.response_expected:
+            inner_future.add_done_callback(propagate)
+            self.orb.router.fallback.send_request(ior, inner_request, inner_future)
+        else:
+            self.orb.router.fallback.send_request(ior, inner_request, inner_future)
+            propagate(inner_future)
+
+    def _deliver_external_reply(self, message, payload):
+        _, group, operation_id, data = payload
+        replica = self.replicas.get(group)
+        if replica is not None:
+            replica.external_pending.pop(operation_id, None)
+        if operation_id in self.pending:
+            self._resolve_pending(operation_id, decode_message(data))
+
+    def _reissue_external_calls(self, replica):
+        """New leader: re-perform external calls the old leader left open."""
+        for operation_id, (ior, request) in list(replica.external_pending.items()):
+            self.sim.emit("ft.external.reissue", {"group": replica.group})
+            self._perform_external(replica, operation_id, ior, request)
+
+    def _arm_request_retry(self, group, client_group, operation_id, data,
+                           attempt):
+        if attempt >= self.request_retry_limit:
+            return
+
+        def retry():
+            if operation_id not in self.pending:
+                return  # resolved meanwhile
+            self.sim.emit("ft.request.retry",
+                          {"op": repr(operation_id), "attempt": attempt + 1})
+            self.groups.send(
+                (group, client_group),
+                (REQUEST, group, client_group, operation_id, data, False),
+                size=len(data) + _ENVELOPE_OVERHEAD,
+            )
+            self._arm_request_retry(group, client_group, operation_id, data,
+                                    attempt + 1)
+
+        self.node.timer(self.request_retry_timeout * (attempt + 1), retry,
+                        "ft.retry")
+
+    def _resolve_pending(self, operation_id, reply):
+        entry = self.pending.pop(operation_id, None)
+        if entry is None:
+            return False
+        request_id, future = entry
+        self.orb.forget_pending(request_id)
+        self.orb.resolve_future_from_reply(future, reply)
+        return True
+
+    # ------------------------------------------------------------------
+    # Delivery dispatch
+    # ------------------------------------------------------------------
+
+    def _on_group_message(self, message):
+        payload = message.payload
+        kind = payload[0]
+        if kind == REQUEST:
+            self._deliver_request(message, payload)
+        elif kind == REPLY:
+            self._deliver_reply(message, payload)
+        elif kind == EXTERNAL_REPLY:
+            self._deliver_external_reply(message, payload)
+        elif kind == STATE_UPDATE:
+            self._deliver_state_update(message, payload)
+        elif kind == STATE_UPDATE_IMAGE:
+            self._deliver_state_update_image(message, payload)
+        elif kind == CHECKPOINT:
+            self._deliver_checkpoint(message, payload)
+        elif kind == STATE_FULL:
+            self._deliver_state_full(message, payload)
+        elif kind == STATE_CHUNK:
+            self._deliver_state_chunk(message, payload)
+        elif kind == STATE_END:
+            self._deliver_state_end(message, payload)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def _deliver_request(self, message, payload):
+        _, dest_group, client_group, operation_id, data, fulfillment = payload
+        if self._member_of(client_group):
+            self.client_seen_requests.add(operation_id)
+            if message.sender != self.node_id and self.sender_side_suppression:
+                cancelled = self.groups.cancel_queued(
+                    lambda p: p[0] == REQUEST and p[3] == operation_id
+                )
+                if cancelled:
+                    self.sim.emit("ft.request.cancelled_queued",
+                                  {"op": repr(operation_id)})
+        replica = self.replicas.get(dest_group)
+        if replica is None:
+            return
+        if not replica.ready:
+            replica.buffered.append(("request", payload, message.order_key))
+            return
+        self._process_request(replica, operation_id, data, client_group,
+                              fulfillment, message.order_key)
+
+    def _process_request(self, replica, operation_id, data, client_group,
+                         fulfillment, order_key):
+        status = replica.tables.status(operation_id)
+        if status == "completed":
+            # Redundant invocation of a completed operation (typically a new
+            # primary's re-invocation after failover): do not re-execute,
+            # but re-transmit the response.
+            cached = replica.tables.cached_reply(operation_id)
+            replica.tables.note_suppressed_request()
+            self.sim.emit("ft.request.duplicate", {"group": replica.group})
+            if cached is not None and replica.is_primary and not fulfillment:
+                self._multicast_reply(replica, client_group, operation_id, cached)
+            return
+        if status == "executing":
+            replica.tables.note_suppressed_request()
+            self.sim.emit("ft.request.duplicate", {"group": replica.group})
+            return
+        pending = PendingRequest(operation_id, data, client_group,
+                                 fulfillment, order_key)
+        replica.tables.note_executing(operation_id)
+        replica.remember_pending(pending)
+        if replica.executes_here:
+            task = ExecutionTask(replica, pending, self._run_task)
+            replica.dispatcher.submit(task)
+
+    def _run_task(self, task, done):
+        replica = task.replica
+        pending = task.pending
+        if pending.operation_id in replica.tables.completed_operation_ids():
+            done()  # completed meanwhile (state update beat the execution)
+            return
+        request = decode_message(pending.request_bytes)
+        context = ExecutionContext(pending.operation_id, replica.group)
+        replica.environment.current_operation_id = pending.operation_id
+        replica.executing.add(pending.operation_id)
+        task.request = request
+
+        def respond(reply):
+            self._on_executed(replica, task, request, reply, done)
+
+        self.orb.poa.dispatch(request, respond, context=context)
+
+    def _on_executed(self, replica, task, request, reply, done):
+        pending = task.pending
+        operation_id = pending.operation_id
+        reply_bytes = None
+        if reply is not None:
+            reply.service_context["FT"] = {
+                "op": operation_id,
+                "client": pending.client_group,
+                "server": replica.group,
+            }
+            reply_bytes = encode_message(reply)
+        replica.complete(operation_id, pending.request_bytes,
+                         pending.client_group, reply_bytes)
+        self.sim.emit("ft.op.executed", {"group": replica.group,
+                                         "node": self.node_id})
+        style = replica.policy.style
+        modifies = self._modifies_state(replica, request)
+        if style == ReplicationStyle.WARM_PASSIVE and replica.is_primary:
+            if modifies or not replica.policy.read_only_skip_update:
+                self._multicast_state_update(replica, operation_id,
+                                             pending.client_group, reply_bytes)
+        elif style == ReplicationStyle.COLD_PASSIVE and replica.is_primary:
+            interval = replica.policy.checkpoint_interval_ops
+            if interval and replica.ops_since_checkpoint >= interval:
+                self._multicast_checkpoint(replica)
+        if reply_bytes is not None and not pending.fulfillment and task.resend_reply:
+            self._send_reply_with_suppression(replica, pending, reply_bytes)
+        done()
+
+    @staticmethod
+    def _modifies_state(replica, request):
+        from repro.orb.idl import interface_of
+
+        info = interface_of(replica.servant).operations.get(request.operation)
+        return info is None or not info.read_only
+
+    def _send_reply_with_suppression(self, replica, pending, reply_bytes):
+        operation_id = pending.operation_id
+        style = replica.policy.style
+        if style == ReplicationStyle.SEMI_ACTIVE and not replica.is_primary:
+            replica.tables.note_suppressed_reply()
+            self.sim.emit("ft.reply.suppressed_follower", {"group": replica.group})
+            return
+        if (replica.tables.reply_already_seen(operation_id)
+                and self.sender_side_suppression):
+            replica.tables.note_suppressed_reply()
+            self.sim.emit("ft.reply.suppressed_at_sender", {"group": replica.group})
+            return
+        self._multicast_reply(replica, pending.client_group, operation_id,
+                              reply_bytes)
+
+    def _multicast_reply(self, replica, client_group, operation_id, reply_bytes):
+        self.sim.emit("ft.reply.sent", {"group": replica.group,
+                                        "node": self.node_id})
+        self.groups.send(
+            (client_group, replica.group),
+            (REPLY, client_group, replica.group, operation_id, reply_bytes),
+            size=len(reply_bytes) + _ENVELOPE_OVERHEAD,
+        )
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+
+    def _deliver_reply(self, message, payload):
+        _, client_group, server_group, operation_id, data = payload
+        if self._member_of(client_group):
+            self.client_reply_cache[operation_id] = data
+            self._resolve_pending(operation_id, decode_message(data))
+        replica = self.replicas.get(server_group)
+        if replica is not None:
+            first_time = not replica.tables.reply_already_seen(operation_id)
+            replica.tables.note_reply_seen(operation_id)
+            if (message.sender != self.node_id and first_time
+                    and self.sender_side_suppression):
+                cancelled = self.groups.cancel_queued(
+                    lambda p: p[0] == REPLY and p[3] == operation_id
+                )
+                if cancelled:
+                    replica.tables.note_suppressed_reply()
+                    self.sim.emit("ft.reply.cancelled_queued",
+                                  {"group": server_group})
+
+    # ------------------------------------------------------------------
+    # Passive state updates / checkpoints
+    # ------------------------------------------------------------------
+
+    def _multicast_state_update(self, replica, operation_id, client_group,
+                                reply_bytes):
+        from repro.orb.cdr import encode_value
+
+        if replica.policy.update_mode == "image":
+            image = self._take_update_image(replica)
+            if image is not None:
+                self.sim.emit("ft.state.update.image.sent",
+                              {"group": replica.group})
+                size = len(encode_value(image)) + _ENVELOPE_OVERHEAD
+                self.groups.send(
+                    (replica.group,),
+                    (STATE_UPDATE_IMAGE, replica.group, operation_id,
+                     replica.ops_applied, image, reply_bytes, client_group),
+                    size=size,
+                )
+                return
+        state = replica.servant.get_state()
+        self.sim.emit("ft.state.update.sent", {"group": replica.group})
+        size = len(encode_value(state)) + _ENVELOPE_OVERHEAD
+        self.groups.send(
+            (replica.group,),
+            (STATE_UPDATE, replica.group, operation_id, replica.ops_applied,
+             state, reply_bytes, client_group),
+            size=size,
+        )
+
+    @staticmethod
+    def _take_update_image(replica):
+        """The servant's post-image of its last update, if it offers one."""
+        getter = getattr(replica.servant, "get_update_image", None)
+        if getter is None:
+            return None
+        return getter()
+
+    def _deliver_state_update(self, message, payload):
+        _, group, operation_id, position, state, reply_bytes, client_group = payload
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        if not replica.ready:
+            replica.buffered.append(("update", payload, message.order_key))
+            return
+        if replica.tables.status(operation_id) == "completed":
+            return  # we executed this ourselves (we are the primary)
+        replica.servant.set_state(state)
+        pending = replica.pending_requests.get(operation_id)
+        request_bytes = pending.request_bytes if pending else None
+        replica.complete(operation_id, request_bytes, client_group, reply_bytes)
+        self.sim.emit("ft.state.update.applied", {"group": group,
+                                                  "node": self.node_id})
+
+    def _deliver_state_update_image(self, message, payload):
+        _, group, operation_id, position, image, reply_bytes, client_group = payload
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        if not replica.ready:
+            replica.buffered.append(("update-image", payload, message.order_key))
+            return
+        if replica.tables.status(operation_id) == "completed":
+            return  # we executed this ourselves (we are the primary)
+        replica.servant.apply_update_image(image)
+        pending = replica.pending_requests.get(operation_id)
+        request_bytes = pending.request_bytes if pending else None
+        replica.complete(operation_id, request_bytes, client_group, reply_bytes)
+        self.sim.emit("ft.state.update.image.applied",
+                      {"group": group, "node": self.node_id})
+
+    def _multicast_checkpoint(self, replica):
+        capture = self._capture(replica)
+        replica.ops_since_checkpoint = 0
+        replica.log.checkpoint(capture.application)
+        from repro.orb.cdr import encode_value
+
+        value = capture.as_value()
+        self.sim.emit("ft.checkpoint.sent", {"group": replica.group})
+        self.groups.send(
+            (replica.group,),
+            (CHECKPOINT, replica.group, value),
+            size=len(encode_value(value)) + _ENVELOPE_OVERHEAD,
+        )
+
+    def _deliver_checkpoint(self, message, payload):
+        _, group, value = payload
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        if not replica.ready:
+            replica.buffered.append(("checkpoint", payload, message.order_key))
+            return
+        if message.sender == self.node_id:
+            return  # primary already reset its own counters when sending
+        self._adopt_capture(replica, FullStateCapture.from_value(value),
+                            checkpoint=True)
+        self.sim.emit("ft.checkpoint.applied", {"group": group,
+                                                "node": self.node_id})
+
+    # ------------------------------------------------------------------
+    # View changes: failover, sponsorship
+    # ------------------------------------------------------------------
+
+    def _on_config(self, event):
+        """Ring configuration changes: fix partition sides from EVS.
+
+        The transitional configuration names exactly the processors that
+        moved together from the old ring -- the replica's partition
+        component.  The side representative derived here stays frozen
+        through the post-change view rebuild (whose intermediate views say
+        nothing about sides) until reconciliation re-derives it.
+        """
+        from repro.totem.events import TransitionalConfiguration
+
+        if not isinstance(event, TransitionalConfiguration):
+            return
+        transitional = set(event.members)
+        for replica in self.replicas.values():
+            if not replica.ready:
+                continue
+            replica.pre_change_members = set(replica.members) | {self.node_id}
+            replica.side_rep = derive_side_representative(
+                replica.members, transitional, self.node_id
+            )
+
+    def _on_view(self, view):
+        replica = self.replicas.get(view.group)
+        if replica is None:
+            return
+        replica.previous_members = replica.members
+        replica.members = view.members
+        old = set(replica.previous_members)
+        new = set(view.members)
+        joiners = new - old
+        new_ring = view.ring_key != getattr(replica, "view_ring_key", None)
+        replica.view_ring_key = view.ring_key
+        self.sim.emit("ft.view", {"group": view.group,
+                                  "members": list(view.members)})
+        if replica.ready and replica.side_rep is None and new:
+            # Bootstrap (no transitional configuration has occurred yet).
+            replica.side_rep = min(new | {self.node_id})
+        if replica.ready and not new_ring and new:
+            # Same-ring view changes are group joins/leaves; a leave that
+            # removed our representative moves it to the next survivor.
+            if replica.side_rep not in new and new <= old:
+                replica.side_rep = min(new)
+        if replica.ready and joiners - {self.node_id}:
+            pre_change = getattr(replica, "pre_change_members", set(old))
+            needy = joiners - {self.node_id} - pre_change
+            if needy and replica.side_rep == self.node_id:
+                self._schedule_sponsorship(replica)
+        if replica.ready and ReplicationStyle.is_passive(replica.policy.style):
+            old_primary = choose_primary(old) if old else None
+            if replica.is_primary and old_primary != self.node_id:
+                self._fail_over(replica)
+        if replica.ready and replica.is_primary and replica.external_pending:
+            old_primary = choose_primary(old) if old else None
+            if old_primary != self.node_id:
+                self._reissue_external_calls(replica)
+
+    def _fail_over(self, replica):
+        """This node became the passive primary: finish uncovered work."""
+        self.sim.emit("ft.failover", {"group": replica.group,
+                                      "node": self.node_id})
+        for pending in replica.pending_in_order():
+            if pending.operation_id in replica.executing:
+                continue
+            task = ExecutionTask(
+                replica, pending, self._run_task,
+                resend_reply=not replica.tables.reply_already_seen(
+                    pending.operation_id
+                ),
+            )
+            replica.dispatcher.submit(task)
+
+    # ------------------------------------------------------------------
+    # State transfer: sponsor side
+    # ------------------------------------------------------------------
+
+    def _capture(self, replica):
+        return FullStateCapture(
+            application=replica.servant.get_state(),
+            orb={},
+            infrastructure=replica.infrastructure_state(),
+            position=replica.ops_applied,
+        )
+
+    def _schedule_sponsorship(self, replica):
+        engine = self
+
+        class SponsorTask:
+            cost = 0.0
+            pending = None
+
+            def run(self, done):
+                engine._send_state_capture(replica, done)
+
+        replica.dispatcher.submit(SponsorTask())
+
+    def _send_state_capture(self, replica, done):
+        capture = self._capture(replica)
+        value = capture.as_value()
+        from repro.orb.cdr import encode_value
+
+        encoded = encode_value(value)
+        marker = "%s@%d" % (self.node_id, replica.ops_applied)
+        self.sim.emit("ft.state.full.sent",
+                      {"group": replica.group, "bytes": len(encoded)})
+        if replica.policy.state_transfer == "blocking":
+            # Blocking semantics: the replica processes no operations until
+            # the transfer is on the wire and delivered back to us.
+            replica._sponsor_done = done
+            replica._sponsor_marker = marker
+            self.groups.send(
+                (replica.group,),
+                (STATE_FULL, replica.group, value, self.node_id, marker),
+                size=len(encoded) + _ENVELOPE_OVERHEAD,
+            )
+        else:
+            transfer = IncrementalTransfer(value, replica.policy.chunk_bytes)
+            for index, total, chunk in transfer.chunks():
+                self.groups.send(
+                    (replica.group,),
+                    (STATE_CHUNK, replica.group, self.node_id, marker,
+                     index, total, chunk),
+                    size=len(chunk) + _ENVELOPE_OVERHEAD,
+                )
+            self.groups.send(
+                (replica.group,),
+                (STATE_END, replica.group, self.node_id, marker),
+                size=_ENVELOPE_OVERHEAD,
+            )
+            done()
+
+    # ------------------------------------------------------------------
+    # State transfer: receiving side
+    # ------------------------------------------------------------------
+
+    def _deliver_state_full(self, message, payload):
+        _, group, value, sponsor, marker = payload
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        if sponsor == self.node_id:
+            done = getattr(replica, "_sponsor_done", None)
+            if done is not None and getattr(replica, "_sponsor_marker", None) == marker:
+                replica._sponsor_done = None
+                done()
+            return
+        self._consider_capture(replica, FullStateCapture.from_value(value), sponsor)
+
+    def _deliver_state_chunk(self, message, payload):
+        _, group, sponsor, marker, index, total, chunk = payload
+        replica = self.replicas.get(group)
+        if replica is None or sponsor == self.node_id:
+            return
+        assembler = self._assemblers.setdefault(
+            (group, sponsor, marker), IncrementalAssembler()
+        )
+        assembler.add_chunk(index, total, chunk)
+
+    def _deliver_state_end(self, message, payload):
+        _, group, sponsor, marker = payload
+        replica = self.replicas.get(group)
+        if replica is None or sponsor == self.node_id:
+            return
+        assembler = self._assemblers.pop((group, sponsor, marker), None)
+        if assembler is None or not assembler.complete():
+            self.sim.emit("ft.state.chunk.incomplete", {"group": group})
+            return
+        value = assembler.assemble()
+        self._consider_capture(replica, FullStateCapture.from_value(value), sponsor)
+
+    def _consider_capture(self, replica, capture, sponsor):
+        """Decide whether a delivered capture binds this replica.
+
+        - A not-yet-ready replica adopts any capture (preferring, if
+          several arrive for a merge, the one whose sponsor is smallest --
+          later smaller-sponsor captures re-adopt).
+        - A ready replica adopts a capture only when it comes from a
+          *different* partition side whose representative outranks ours:
+          that side is the primary component, we were the secondary, and
+          our divergent operations become fulfillment operations.
+        """
+        if not replica.ready:
+            best = getattr(replica, "_adopted_sponsor", None)
+            if best is not None and best <= sponsor:
+                return
+            replica._adopted_sponsor = sponsor
+            self._adopt_capture(replica, capture)
+            self._make_ready(replica)
+            return
+        if not should_adopt_capture(sponsor, replica.side_rep, self.node_id):
+            # Our own component's capture, or a capture from a component
+            # whose representative is outranked by ours: we are (so far)
+            # in the primary component for this group.
+            return
+        # We are in the secondary component for this group: reconcile.
+        plan = FulfillmentPlan(
+            replica.group,
+            divergent_operations(
+                replica.completed_order,
+                replica.completed_journal,
+                self._their_completed(capture),
+            ),
+        )
+        self._adopt_capture(replica, capture)
+        # Adopt the sponsor as our representative: in a multi-way merge an
+        # even smaller sponsor's capture may still arrive and re-adopt.
+        replica.side_rep = sponsor
+        self.sim.emit("ft.merge.adopted", {"group": replica.group,
+                                           "node": self.node_id,
+                                           "fulfillment": len(plan)})
+        self._multicast_fulfillment(replica, plan)
+
+    @staticmethod
+    def _their_completed(capture):
+        """Completed op-id set from a capture's infrastructure tier."""
+        their_completed = set()
+        dup = capture.infrastructure.get("dup", {})
+        for op, status in dup.get("request_status", []):
+            if status == "completed":
+                their_completed.add(_tuplify(op))
+        return their_completed
+
+    def _multicast_fulfillment(self, replica, plan):
+        for original_op, request_bytes, client_group in plan:
+            fulfillment_op = fulfillment_operation_id(original_op, 0)
+            if fulfillment_op in replica.tables.completed_operation_ids():
+                continue
+            self.sim.emit("ft.fulfillment.sent", {"group": replica.group})
+            self.groups.send(
+                (replica.group, client_group or self.client_group),
+                (REQUEST, replica.group, client_group or self.client_group,
+                 fulfillment_op, request_bytes, True),
+                size=len(request_bytes) + _ENVELOPE_OVERHEAD,
+            )
+
+    def _adopt_capture(self, replica, capture, checkpoint=False):
+        replica.servant.set_state(capture.application)
+        replica.adopt_infrastructure_state(capture.infrastructure)
+        if checkpoint:
+            replica.log.checkpoint(capture.application)
+            replica.ops_since_checkpoint = 0
+        # Prune pending requests the capture already covers.
+        completed = replica.tables.completed_operation_ids()
+        for op in list(replica.pending_requests):
+            if op in completed:
+                del replica.pending_requests[op]
+
+    def _make_ready(self, replica):
+        replica.ready = True
+        if replica.members:
+            replica.side_rep = min(replica.members)
+        buffered, replica.buffered = replica.buffered, []
+        self.sim.emit("ft.replica.ready", {"group": replica.group,
+                                           "node": self.node_id,
+                                           "replay": len(buffered)})
+        for kind, payload, order_key in buffered:
+            if kind == "request":
+                _, dest_group, client_group, op, data, fulfillment = payload
+                self._process_request(replica, op, data, client_group,
+                                      fulfillment, order_key)
+            elif kind == "update":
+                self._deliver_state_update(_FakeMessage(order_key), payload)
+            elif kind == "update-image":
+                self._deliver_state_update_image(_FakeMessage(order_key), payload)
+            elif kind == "checkpoint":
+                self._deliver_checkpoint(_FakeMessage(order_key), payload)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _member_of(self, group):
+        return group in self.groups.my_groups
+
+    def stats(self):
+        """Suppression and execution counters for benchmarks."""
+        return {
+            group: {
+                "style": replica.policy.style,
+                "ops_applied": replica.ops_applied,
+                "suppressed_requests": replica.tables.suppressed_requests,
+                "suppressed_replies": replica.tables.suppressed_replies,
+            }
+            for group, replica in self.replicas.items()
+        }
+
+
+class _FakeMessage:
+    """Stand-in for a GroupMessage when replaying buffered deliveries."""
+
+    def __init__(self, order_key):
+        self.order_key = order_key
+        self.sender = None
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value

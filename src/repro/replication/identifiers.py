@@ -1,0 +1,109 @@
+"""Invocation and operation identifiers.
+
+The paper's duplicate-suppression mechanism rests on a distinction:
+
+- the **operation identifier** is identical for every replica of the
+  invoker issuing the same logical operation (and for a new primary's
+  re-invocation after failover), and unique to the operation;
+- the **invocation identifier** additionally carries which physical
+  message performed the invocation, so redundant transmissions are
+  distinguishable for logging while being recognizably the same
+  operation.
+
+Operation identifiers are hierarchical: a top-level client operation is
+``("c", client_group, n)`` for that client group's n-th operation, and a
+nested operation issued while executing operation P is ``("n", P, k)`` for
+P's k-th nested call.  Every replica of a group executes the same
+deliveries in the same order and issues nested calls deterministically, so
+all replicas derive identical identifiers -- the property duplicate
+suppression needs.  Identifiers are plain tuples of strings/ints so they
+marshal through GIOP service contexts unchanged.
+"""
+
+
+def top_level_operation_id(client_group, sequence):
+    """Identifier for a client's n-th top-level operation."""
+    return ("c", client_group, sequence)
+
+
+def nested_operation_id(parent_operation_id, child_sequence):
+    """Identifier for the k-th nested call of a running operation."""
+    return ("n", parent_operation_id, child_sequence)
+
+
+def fulfillment_operation_id(original_operation_id, member):
+    """Identifier for the re-execution of a secondary-component operation.
+
+    Distinct from the original (the original completed in the secondary
+    component) but deterministic, so a fulfillment op multicast by a
+    secondary-side member is itself duplicate-suppressible.
+    """
+    return ("f", original_operation_id, member)
+
+
+class InvocationId:
+    """A physical invocation: (operation id, sending replica, attempt)."""
+
+    __slots__ = ("operation_id", "sender", "attempt")
+
+    def __init__(self, operation_id, sender, attempt=0):
+        self.operation_id = operation_id
+        self.sender = sender
+        self.attempt = attempt
+
+    def as_value(self):
+        return (self.operation_id, self.sender, self.attempt)
+
+    @classmethod
+    def from_value(cls, value):
+        return cls(value[0], value[1], value[2])
+
+    def __eq__(self, other):
+        return isinstance(other, InvocationId) and self.as_value() == other.as_value()
+
+    def __hash__(self):
+        return hash(self.as_value())
+
+    def __repr__(self):
+        return "InvocationId(op=%s, from=%s, attempt=%d)" % (
+            self.operation_id, self.sender, self.attempt,
+        )
+
+
+class OperationIdAllocator:
+    """Per-invoker allocator of deterministic operation identifiers."""
+
+    def __init__(self, client_group):
+        self.client_group = client_group
+        self._sequence = 0
+
+    def next_top_level(self):
+        self._sequence += 1
+        return top_level_operation_id(self.client_group, self._sequence)
+
+    @property
+    def issued(self):
+        return self._sequence
+
+
+class ExecutionContext:
+    """Context of a servant operation in progress.
+
+    Installed as ``orb.current_context`` while the operation's code runs;
+    nested invocations read it to derive their operation identifiers and
+    to identify the replica group acting as the nested client.
+    """
+
+    __slots__ = ("operation_id", "group", "_child_sequence")
+
+    def __init__(self, operation_id, group):
+        self.operation_id = operation_id
+        self.group = group
+        self._child_sequence = 0
+
+    def next_nested_id(self):
+        self._child_sequence += 1
+        return nested_operation_id(self.operation_id, self._child_sequence)
+
+    def __repr__(self):
+        return "ExecutionContext(op=%s, group=%s)" % (self.operation_id, self.group)

@@ -1,0 +1,159 @@
+"""The replication management plane (FT-CORBA ReplicationManager shape).
+
+Eternal's management functions -- creating replicated objects with a given
+replication style and degree, adding/removing members, and restoring the
+replication degree after failures -- were standardized by FT-CORBA as the
+ReplicationManager.  This class is that plane: it holds a registry of the
+domain's engines and object groups, and its actions (host here, transfer
+state there) are carried out by the per-node engines through the real
+group-communication protocols.
+
+Degree restoration works with the fault detectors in
+:mod:`repro.faultdetect`: when a fault report arrives, every group that
+lost a member below its ``min_replicas`` gets a new member on a spare
+node, initialized by the group's state-transfer mechanism.
+"""
+
+from repro.replication.styles import GroupPolicy
+
+
+class ObjectGroupRecord:
+    """Manager-side bookkeeping for one replicated object."""
+
+    def __init__(self, group, factory, policy, ior):
+        self.group = group
+        self.factory = factory
+        self.policy = policy
+        self.ior = ior
+        self.locations = []
+
+    def __repr__(self):
+        return "ObjectGroupRecord(%s, %s, at %s)" % (
+            self.group, self.policy.style, self.locations,
+        )
+
+
+class ReplicationManager:
+    """Creates and maintains object groups across a domain of engines."""
+
+    def __init__(self, domain="ft-domain"):
+        self.domain = domain
+        self.engines = {}
+        self.records = {}
+        self.spares = []
+
+    # ------------------------------------------------------------------
+    # Domain registry
+    # ------------------------------------------------------------------
+
+    def register_engine(self, engine):
+        """Add a node's replication engine to the domain."""
+        self.engines[engine.node_id] = engine
+        return self
+
+    def register_spare(self, node_id):
+        """Mark a node as a spare for degree restoration."""
+        if node_id not in self.engines:
+            raise ValueError("spare %r has no registered engine" % (node_id,))
+        if node_id not in self.spares:
+            self.spares.append(node_id)
+        return self
+
+    # ------------------------------------------------------------------
+    # Object group lifecycle
+    # ------------------------------------------------------------------
+
+    def create_object(self, group, factory, locations, policy=None):
+        """Create a replicated object: one replica per location.
+
+        ``factory()`` constructs a servant; it is called once per replica
+        so each node owns its own instance (as separate processes would).
+        All initial replicas start from the factory's state, so they boot
+        ready without a state transfer.  Returns the group IOR.
+        """
+        if group in self.records:
+            raise ValueError("object group %r already exists" % (group,))
+        policy = policy or GroupPolicy()
+        ior = None
+        record = ObjectGroupRecord(group, factory, policy, None)
+        for node_id in locations:
+            engine = self._engine(node_id)
+            ior = engine.host_replica(group, factory(), policy, ready=True)
+            record.locations.append(node_id)
+        record.ior = ior
+        self.records[group] = record
+        return ior
+
+    def add_member(self, group, node_id):
+        """Add a replica at a node; it initializes by state transfer."""
+        record = self._record(group)
+        engine = self._engine(node_id)
+        engine.host_replica(group, record.factory(), record.policy, ready=False)
+        record.locations.append(node_id)
+        return record.ior
+
+    def remove_member(self, group, node_id):
+        """Withdraw a replica (administrative removal, not a fault)."""
+        record = self._record(group)
+        self._engine(node_id).unhost_replica(group)
+        if node_id in record.locations:
+            record.locations.remove(node_id)
+
+    def ior_of(self, group):
+        return self._record(group).ior
+
+    def locations_of(self, group):
+        return list(self._record(group).locations)
+
+    # ------------------------------------------------------------------
+    # Degree restoration
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, node_id):
+        """React to a reported node fault: restore replication degrees.
+
+        Every group hosted at the dead node loses that member; groups that
+        drop below ``min_replicas`` receive a new member on a spare node.
+        Returns a list of (group, new_node) placements made.
+        """
+        placements = []
+        for record in self.records.values():
+            if node_id not in record.locations:
+                continue
+            record.locations.remove(node_id)
+            if len(record.locations) >= record.policy.min_replicas:
+                continue
+            spare = self._pick_spare(record)
+            if spare is None:
+                continue
+            self.add_member(record.group, spare)
+            placements.append((record.group, spare))
+        return placements
+
+    def _pick_spare(self, record):
+        for node_id in self.spares:
+            engine = self.engines[node_id]
+            if not engine.node.alive:
+                continue
+            if node_id in record.locations:
+                continue
+            if record.group in engine.replicas:
+                continue
+            return node_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _engine(self, node_id):
+        engine = self.engines.get(node_id)
+        if engine is None:
+            raise ValueError("no engine registered for node %r" % (node_id,))
+        return engine
+
+    def _record(self, group):
+        record = self.records.get(group)
+        if record is None:
+            raise ValueError("unknown object group %r" % (group,))
+        return record

@@ -1,0 +1,187 @@
+"""A local replica: one hosted member of an object group.
+
+The :class:`LocalReplica` holds everything the Eternal mechanisms keep per
+replica at one node: the servant, the duplicate-suppression tables, the
+operation log (for passive backups and cold-passive recovery), the
+execution dispatcher, view bookkeeping, and the completed-operation
+journal used for partition-remerge fulfillment.
+
+All decision logic that must be identical across replicas (what to
+execute, when to push state, who replies) lives in the engine and runs in
+delivered-message order; this class is the state it operates on.
+"""
+
+from repro.determinism.dispatcher import make_dispatcher
+from repro.determinism.sanitizer import SanitizedEnvironment
+from repro.replication.duplicates import DuplicateTables
+from repro.replication.election import choose_primary
+from repro.state.logging import MessageLog
+
+
+class PendingRequest:
+    """A delivered-but-not-completed request held by a replica."""
+
+    __slots__ = ("operation_id", "request_bytes", "client_group",
+                 "fulfillment", "order_key")
+
+    def __init__(self, operation_id, request_bytes, client_group,
+                 fulfillment, order_key):
+        self.operation_id = operation_id
+        self.request_bytes = request_bytes
+        self.client_group = client_group
+        self.fulfillment = fulfillment
+        self.order_key = order_key
+
+    def __repr__(self):
+        return "PendingRequest(%s)" % (self.operation_id,)
+
+
+class ExecutionTask:
+    """Dispatcher task executing one request at one replica."""
+
+    __slots__ = ("replica", "pending", "resend_reply", "cost", "request", "_runner")
+
+    def __init__(self, replica, pending, runner, resend_reply=True):
+        self.replica = replica
+        self.pending = pending
+        self.resend_reply = resend_reply
+        self.cost = getattr(replica.servant, "simulated_cost", 0.0) or 0.0
+        self.request = None
+        self._runner = runner
+
+    def run(self, done):
+        self._runner(self, done)
+
+
+class LocalReplica:
+    """One group member hosted at one node."""
+
+    def __init__(self, engine, group, servant, policy, ready):
+        self.engine = engine
+        self.group = group
+        self.servant = servant
+        self.policy = policy
+        self.node_id = engine.node_id
+        # Replica lifecycle: a bootstrap replica is ready immediately; an
+        # added/recovering replica buffers deliveries until it receives a
+        # state capture from the sponsor.
+        self.ready = ready
+        self.buffered = []
+        # Mechanisms state.
+        self.tables = DuplicateTables()
+        self.log = MessageLog()
+        self.pending_requests = {}   # op id -> PendingRequest (not completed)
+        self.pending_order = []      # op ids in delivery order
+        self.completed_journal = {}  # op id -> (request_bytes, client_group)
+        self.completed_order = []    # op ids in completion order
+        self.ops_applied = 0
+        self.ops_since_checkpoint = 0
+        self.executing = set()
+        # External (plain-IOR) invocations issued by in-progress operations:
+        # op id -> (target IOR, RequestMessage); the group leader performs
+        # them and a new leader re-issues any left open at failover.
+        self.external_pending = {}
+        # View bookkeeping.
+        self.members = ()
+        self.previous_members = ()
+        # Representative of the partition component this replica has stayed
+        # consistent with.  Frozen while views grow (merge in progress) and
+        # re-derived when reconciliation completes, so primary-component
+        # determination at remerge does not depend on intermediate views.
+        self.side_rep = None
+        self.dispatcher = make_dispatcher(
+            policy.dispatch_policy, engine.sim, engine.node
+        )
+        self.environment = SanitizedEnvironment(
+            engine.sim, engine.node, sanitized=policy.sanitize_environment
+        )
+        # Give the servant access to the (possibly sanitized) environment,
+        # mirroring Eternal's interception of time/random system calls.
+        servant.env = self.environment
+        # Incremental transfer in progress (sponsor side).
+        self.transfer_images = None
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self):
+        return choose_primary(self.members)
+
+    @property
+    def is_primary(self):
+        return self.primary == self.node_id
+
+    @property
+    def executes_here(self):
+        from repro.replication.styles import ReplicationStyle
+
+        if ReplicationStyle.executes_everywhere(self.policy.style):
+            return True
+        return self.is_primary
+
+    # ------------------------------------------------------------------
+    # Request bookkeeping
+    # ------------------------------------------------------------------
+
+    def remember_pending(self, pending):
+        if pending.operation_id not in self.pending_requests:
+            self.pending_requests[pending.operation_id] = pending
+            self.pending_order.append(pending.operation_id)
+        self.log.append(
+            pending.operation_id, "request", pending.request_bytes
+        )
+
+    def complete(self, operation_id, request_bytes, client_group, reply_bytes):
+        """Mark an operation completed (executed here or via state update)."""
+        self.tables.note_completed(operation_id, reply_bytes)
+        self.pending_requests.pop(operation_id, None)
+        self.executing.discard(operation_id)
+        if operation_id not in self.completed_journal:
+            self.completed_journal[operation_id] = (request_bytes, client_group)
+            self.completed_order.append(operation_id)
+        self.ops_applied += 1
+        self.ops_since_checkpoint += 1
+
+    def pending_in_order(self):
+        """Uncompleted requests in delivery order (failover work list)."""
+        return [
+            self.pending_requests[op]
+            for op in self.pending_order
+            if op in self.pending_requests
+        ]
+
+    # ------------------------------------------------------------------
+    # State capture for transfer (three tiers)
+    # ------------------------------------------------------------------
+
+    def infrastructure_state(self):
+        return {
+            "dup": self.tables.capture(),
+            "ops_applied": self.ops_applied,
+            "completed_order": [list(op) for op in self.completed_order],
+        }
+
+    def adopt_infrastructure_state(self, snapshot):
+        self.tables = DuplicateTables.restore(snapshot["dup"])
+        self.ops_applied = snapshot["ops_applied"]
+        self.completed_order = [
+            _tuplify(op) for op in snapshot["completed_order"]
+        ]
+        self.completed_journal = {
+            op: self.completed_journal.get(op, (None, None))
+            for op in self.completed_order
+        }
+
+    def __repr__(self):
+        role = "primary" if self.is_primary else "backup"
+        return "LocalReplica(%s@%s, %s, %s, ops=%d)" % (
+            self.group, self.node_id, self.policy.style, role, self.ops_applied,
+        )
+
+
+def _tuplify(value):
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value

@@ -1,0 +1,113 @@
+"""Replication styles and per-group policies."""
+
+
+class ReplicationStyle:
+    """The replication styles Eternal supports (and FT-CORBA standardized).
+
+    - ``ACTIVE``: every replica executes every operation; replies are
+      duplicate-suppressed.  Fastest failover (no state to recover).
+    - ``WARM_PASSIVE``: only the primary executes; it pushes a state update
+      to the backups after each state-modifying operation, so a backup can
+      take over by executing only the operations the update stream has not
+      covered.
+    - ``COLD_PASSIVE``: only the primary executes; backups merely log
+      requests.  Failover restores the last checkpoint and replays the
+      log -- cheapest in steady state, slowest to fail over.
+    - ``SEMI_ACTIVE``: every replica executes (as in active), but a single
+      leader makes all externally visible decisions (sends the replies);
+      followers' replies are suppressed a priori rather than by race.
+    """
+
+    ACTIVE = "active"
+    WARM_PASSIVE = "warm_passive"
+    COLD_PASSIVE = "cold_passive"
+    SEMI_ACTIVE = "semi_active"
+
+    ALL = (ACTIVE, WARM_PASSIVE, COLD_PASSIVE, SEMI_ACTIVE)
+
+    @classmethod
+    def validate(cls, style):
+        if style not in cls.ALL:
+            raise ValueError(
+                "unknown replication style %r (expected one of %s)"
+                % (style, ", ".join(cls.ALL))
+            )
+        return style
+
+    @classmethod
+    def executes_everywhere(cls, style):
+        """True when every replica executes every operation."""
+        return style in (cls.ACTIVE, cls.SEMI_ACTIVE)
+
+    @classmethod
+    def is_passive(cls, style):
+        return style in (cls.WARM_PASSIVE, cls.COLD_PASSIVE)
+
+
+class GroupPolicy:
+    """Per-object-group replication policy.
+
+    Attributes:
+        style: one of :class:`ReplicationStyle`.
+        min_replicas: the ReplicationManager restores the group to this
+            degree after failures, spares permitting.
+        checkpoint_interval_ops: for cold passive, the primary multicasts a
+            checkpoint every N state-modifying operations (bounding log
+            replay at failover).  0 disables periodic checkpoints.
+        state_transfer: ``"blocking"`` or ``"incremental"`` -- how new
+            members are brought current.
+        update_mode: ``"full"`` pushes the complete application state
+            after each passive-primary operation; ``"image"`` ships the
+            servant-provided post-image of the update instead (the paper's
+            postimage mechanism), falling back to full state when the
+            servant cannot describe the update.
+        chunk_bytes: chunk size for incremental transfers.
+        read_only_skip_update: skip the passive state push after operations
+            declared read_only in the interface.
+        dispatch_policy: ``"deterministic"`` (Eternal's enforced serial
+            dispatch) or ``"concurrent"`` (the E9 ablation's multithreaded
+            regime).
+        sanitize_environment: whether servants' time()/random() reads are
+            sanitized (see :mod:`repro.determinism.sanitizer`).
+    """
+
+    def __init__(
+        self,
+        style=ReplicationStyle.ACTIVE,
+        min_replicas=2,
+        checkpoint_interval_ops=50,
+        state_transfer="blocking",
+        update_mode="full",
+        chunk_bytes=4096,
+        read_only_skip_update=True,
+        dispatch_policy="deterministic",
+        sanitize_environment=True,
+    ):
+        self.style = ReplicationStyle.validate(style)
+        if state_transfer not in ("blocking", "incremental"):
+            raise ValueError("state_transfer must be 'blocking' or 'incremental'")
+        if update_mode not in ("full", "image"):
+            raise ValueError("update_mode must be 'full' or 'image'")
+        if dispatch_policy not in ("deterministic", "concurrent"):
+            raise ValueError("dispatch_policy must be 'deterministic' or 'concurrent'")
+        self.min_replicas = min_replicas
+        self.checkpoint_interval_ops = checkpoint_interval_ops
+        self.state_transfer = state_transfer
+        self.update_mode = update_mode
+        self.chunk_bytes = chunk_bytes
+        self.read_only_skip_update = read_only_skip_update
+        self.dispatch_policy = dispatch_policy
+        self.sanitize_environment = sanitize_environment
+
+    def copy(self, **overrides):
+        fields = dict(self.__dict__)
+        fields.update(overrides)
+        policy = GroupPolicy()
+        policy.__dict__.update(fields)
+        ReplicationStyle.validate(policy.style)
+        return policy
+
+    def __repr__(self):
+        return "GroupPolicy(style=%s, min=%d, transfer=%s, dispatch=%s)" % (
+            self.style, self.min_replicas, self.state_transfer, self.dispatch_policy,
+        )

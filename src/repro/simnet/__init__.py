@@ -1,0 +1,45 @@
+"""Deterministic discrete-event network simulation kernel.
+
+This package is the bottom layer of the reproduction: it stands in for the
+paper's physical LAN testbed (see DESIGN.md, substitutions table).  Every
+higher layer -- the Totem group communication protocol, the mini-CORBA ORB,
+and the Eternal replication mechanisms -- runs on top of this kernel, so the
+whole system is deterministic given a seed and can be single-stepped in
+tests.
+
+Public surface:
+
+- :class:`Simulator` -- virtual clock + event scheduler + seeded RNG streams.
+- :class:`Network`, :class:`Node`, :class:`LinkProfile` -- LAN model with
+  latency, bandwidth, loss, jitter, crashes, and partitions.
+- :class:`FaultPlan` -- declarative schedules of crash / recover /
+  partition / merge events.
+- :class:`TraceLog` -- structured event trace and message counters.
+"""
+
+from repro.simnet.errors import SimulationError, NodeDownError, UnknownNodeError
+from repro.simnet.scheduler import EventScheduler, ScheduledEvent
+from repro.simnet.rng import RngStreams
+from repro.simnet.trace import TraceLog, TraceRecord
+from repro.simnet.simulator import Simulator
+from repro.simnet.link import LinkProfile
+from repro.simnet.node import Node
+from repro.simnet.network import Network
+from repro.simnet.faults import FaultPlan, FaultEvent
+
+__all__ = [
+    "SimulationError",
+    "NodeDownError",
+    "UnknownNodeError",
+    "EventScheduler",
+    "ScheduledEvent",
+    "RngStreams",
+    "TraceLog",
+    "TraceRecord",
+    "Simulator",
+    "LinkProfile",
+    "Node",
+    "Network",
+    "FaultPlan",
+    "FaultEvent",
+]

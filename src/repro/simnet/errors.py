@@ -1,0 +1,25 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class UnknownNodeError(SimulationError):
+    """An operation referenced a node id that was never added to the network."""
+
+    def __init__(self, node_id):
+        super().__init__("unknown node: %r" % (node_id,))
+        self.node_id = node_id
+
+
+class NodeDownError(SimulationError):
+    """An operation required a live node but the node is crashed."""
+
+    def __init__(self, node_id):
+        super().__init__("node is down: %r" % (node_id,))
+        self.node_id = node_id
+
+
+class SchedulerExhaustedError(SimulationError):
+    """run() hit the configured safety limit on processed events."""

@@ -1,0 +1,71 @@
+"""Declarative fault injection: timed crash / recover / partition / merge.
+
+Experiments describe their fault scenario up front as a :class:`FaultPlan`
+and arm it once; the plan schedules the events on the simulator.  This keeps
+benchmark scripts declarative and makes scenarios reusable across tests.
+"""
+
+
+class FaultEvent:
+    """One scheduled fault: ``kind`` is crash | recover | partition | merge."""
+
+    __slots__ = ("time", "kind", "target")
+
+    def __init__(self, time, kind, target=None):
+        self.time = time
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self):
+        return "FaultEvent(t=%.6f, %s, %r)" % (self.time, self.kind, self.target)
+
+
+class FaultPlan:
+    """An ordered schedule of fault events to apply to a network."""
+
+    def __init__(self):
+        self.events = []
+
+    def crash(self, time, node_id):
+        """Crash ``node_id`` at virtual ``time``."""
+        self.events.append(FaultEvent(time, "crash", node_id))
+        return self
+
+    def recover(self, time, node_id):
+        """Recover ``node_id`` at virtual ``time``."""
+        self.events.append(FaultEvent(time, "recover", node_id))
+        return self
+
+    def partition(self, time, components):
+        """Partition the network into ``components`` at ``time``."""
+        frozen = [tuple(component) for component in components]
+        self.events.append(FaultEvent(time, "partition", frozen))
+        return self
+
+    def merge(self, time):
+        """Merge all partition components back together at ``time``."""
+        self.events.append(FaultEvent(time, "merge"))
+        return self
+
+    def arm(self, network):
+        """Schedule every event of the plan on the network's simulator."""
+        sim = network.sim
+        for event in sorted(self.events, key=lambda e: e.time):
+            sim.schedule_at(event.time, _make_applier(network, event), "fault:%s" % event.kind)
+        return self
+
+
+def _make_applier(network, event):
+    def apply_fault():
+        if event.kind == "crash":
+            network.node(event.target).crash()
+        elif event.kind == "recover":
+            network.node(event.target).recover()
+        elif event.kind == "partition":
+            network.partition(event.target)
+        elif event.kind == "merge":
+            network.merge()
+        else:
+            raise ValueError("unknown fault kind: %r" % (event.kind,))
+
+    return apply_fault

@@ -1,0 +1,61 @@
+"""Link model: latency, bandwidth, jitter, and loss parameters.
+
+The defaults approximate the switched 100 Mb/s Ethernet LAN of the paper's
+testbed era: ~100 microseconds propagation+stack latency, 12.5 MB/s of
+bandwidth, no loss.  Experiments override per-profile fields (e.g. E3 sweeps
+loss, E8 uses partitions rather than loss).
+"""
+
+
+class LinkProfile:
+    """Parameters governing message delivery between two nodes.
+
+    Attributes:
+        latency: one-way propagation + protocol-stack delay, seconds.
+        bandwidth: serialization rate, bytes/second. ``None`` disables the
+            serialization-delay term (infinite bandwidth).
+        jitter: maximum extra uniform random delay, seconds.
+        loss: independent per-message drop probability in [0, 1].
+        per_hop_overhead: fixed per-message header size, bytes, added to the
+            payload size before the serialization delay is computed.
+    """
+
+    __slots__ = ("latency", "bandwidth", "jitter", "loss", "per_hop_overhead")
+
+    def __init__(
+        self,
+        latency=100e-6,
+        bandwidth=12.5e6,
+        jitter=0.0,
+        loss=0.0,
+        per_hop_overhead=64,
+    ):
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be in [0, 1], got %r" % (loss,))
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive or None")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.jitter = jitter
+        self.loss = loss
+        self.per_hop_overhead = per_hop_overhead
+
+    def serialization_delay(self, size):
+        """Time to push ``size`` payload bytes plus headers onto the wire."""
+        if self.bandwidth is None:
+            return 0.0
+        return (size + self.per_hop_overhead) / self.bandwidth
+
+    def copy(self, **overrides):
+        """A copy of this profile with selected fields replaced."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(overrides)
+        return LinkProfile(**fields)
+
+    def __repr__(self):
+        return (
+            "LinkProfile(latency=%g, bandwidth=%r, jitter=%g, loss=%g)"
+            % (self.latency, self.bandwidth, self.jitter, self.loss)
+        )

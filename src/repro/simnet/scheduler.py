@@ -1,0 +1,136 @@
+"""Event scheduler: a deterministic priority queue of timed callbacks.
+
+Ties on the virtual timestamp are broken by insertion order, which makes the
+whole simulation reproducible: two runs with the same seed execute callbacks
+in exactly the same order.
+"""
+
+import heapq
+
+from repro.simnet.errors import SchedulerExhaustedError
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Instances are ordered by (time, sequence) so that :mod:`heapq` never has
+    to compare the callbacks themselves.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time, seq, callback, label=""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self):
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+        self.callback = None
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "ScheduledEvent(t=%.9f, seq=%d, %s, %s)" % (
+            self.time,
+            self.seq,
+            self.label or "<fn>",
+            state,
+        )
+
+
+class EventScheduler:
+    """Min-heap of :class:`ScheduledEvent` with a virtual clock.
+
+    The scheduler owns the clock: ``now`` only advances when events are
+    popped, so there is no wall-clock dependence anywhere in the system.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule_at(self, time, callback, label=""):
+        """Schedule ``callback()`` at absolute virtual ``time``.
+
+        Times in the past are clamped to ``now`` (the event runs next).
+        Returns a :class:`ScheduledEvent` handle usable for cancellation.
+        """
+        if time < self.now:
+            time = self.now
+        self._seq += 1
+        event = ScheduledEvent(time, self._seq, callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay, callback, label=""):
+        """Schedule ``callback()`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0, got %r" % (delay,))
+        return self.schedule_at(self.now + delay, callback, label)
+
+    def pending(self):
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self):
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            callback = event.callback
+            event.callback = None
+            callback()
+            return True
+        return False
+
+    def run(self, max_events=10_000_000):
+        """Run until the event queue drains.
+
+        ``max_events`` is a safety valve against livelocked protocols (for
+        example a fault-detector that re-arms forever); hitting it raises
+        :class:`SchedulerExhaustedError` rather than hanging the test suite.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise SchedulerExhaustedError(
+                    "processed %d events without draining the queue" % count
+                )
+        return count
+
+    def run_until(self, time, max_events=10_000_000):
+        """Run events with timestamp <= ``time``; then advance the clock to it.
+
+        Returns the number of events processed.  Periodic protocols (token
+        passing, heartbeats) never drain the queue, so simulations are driven
+        with ``run_until`` rather than ``run``.
+        """
+        count = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            count += 1
+            if count >= max_events:
+                raise SchedulerExhaustedError(
+                    "processed %d events before reaching t=%r" % (count, time)
+                )
+        if time > self.now:
+            self.now = time
+        return count

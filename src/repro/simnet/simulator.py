@@ -1,0 +1,49 @@
+"""The :class:`Simulator` facade: clock, scheduler, RNG streams, and trace.
+
+One Simulator instance underlies one experiment.  All components that need
+time, timers, or randomness hold a reference to it; nothing in the system
+touches wall-clock time or the global :mod:`random` state.
+"""
+
+from repro.simnet.rng import RngStreams
+from repro.simnet.scheduler import EventScheduler
+from repro.simnet.trace import TraceLog
+
+
+class Simulator:
+    """Deterministic simulation context shared by every layer of the stack."""
+
+    def __init__(self, seed=0, keep_trace_records=False):
+        self.scheduler = EventScheduler()
+        self.rng = RngStreams(seed)
+        self.trace = TraceLog(keep_records=keep_trace_records)
+        self.seed = seed
+
+    @property
+    def now(self):
+        """Current virtual time in seconds."""
+        return self.scheduler.now
+
+    def schedule(self, delay, callback, label=""):
+        """Run ``callback()`` after ``delay`` seconds of virtual time."""
+        return self.scheduler.schedule(delay, callback, label)
+
+    def schedule_at(self, time, callback, label=""):
+        """Run ``callback()`` at absolute virtual ``time``."""
+        return self.scheduler.schedule_at(time, callback, label)
+
+    def run(self, max_events=10_000_000):
+        """Run until the event queue drains (see EventScheduler.run)."""
+        return self.scheduler.run(max_events)
+
+    def run_until(self, time, max_events=10_000_000):
+        """Run all events up to and including ``time``."""
+        return self.scheduler.run_until(time, max_events)
+
+    def run_for(self, duration, max_events=10_000_000):
+        """Run for ``duration`` more seconds of virtual time."""
+        return self.scheduler.run_until(self.now + duration, max_events)
+
+    def emit(self, category, detail=None, size=0):
+        """Add a trace record at the current virtual time."""
+        self.trace.emit(self.now, category, detail, size)

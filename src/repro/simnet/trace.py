@@ -1,0 +1,65 @@
+"""Structured tracing and message accounting for simulations.
+
+Benchmarks use the counters (messages / bytes by category) to report the
+message-count columns in EXPERIMENTS.md; tests use the record list to assert
+on protocol behaviour without reaching into protocol internals.
+"""
+
+from collections import Counter
+
+
+class TraceRecord:
+    """One trace entry: virtual time, category string, and a detail dict."""
+
+    __slots__ = ("time", "category", "detail")
+
+    def __init__(self, time, category, detail):
+        self.time = time
+        self.category = category
+        self.detail = detail
+
+    def __repr__(self):
+        return "TraceRecord(t=%.6f, %s, %r)" % (self.time, self.category, self.detail)
+
+
+class TraceLog:
+    """Collects trace records and per-category counters.
+
+    Record collection is off by default (counters are always on) because the
+    long benchmark runs would otherwise hold millions of records.
+    """
+
+    def __init__(self, keep_records=False):
+        self.keep_records = keep_records
+        self.records = []
+        self.counters = Counter()
+        self.byte_counters = Counter()
+
+    def emit(self, time, category, detail=None, size=0):
+        """Record one event: bump counters, optionally append the record."""
+        self.counters[category] += 1
+        if size:
+            self.byte_counters[category] += size
+        if self.keep_records:
+            self.records.append(TraceRecord(time, category, detail or {}))
+
+    def count(self, category):
+        """Occurrences of a category so far."""
+        return self.counters[category]
+
+    def bytes(self, category):
+        """Total bytes attributed to a category so far."""
+        return self.byte_counters[category]
+
+    def matching(self, category):
+        """All kept records for a category (requires keep_records=True)."""
+        return [r for r in self.records if r.category == category]
+
+    def snapshot(self):
+        """Immutable copy of the counters, for before/after deltas."""
+        return Counter(self.counters)
+
+    def reset_counters(self):
+        """Zero all counters (records are kept)."""
+        self.counters.clear()
+        self.byte_counters.clear()

@@ -1,0 +1,71 @@
+"""Message/operation logging for recovery.
+
+Eternal's recovery mechanisms log delivered operations so that a recovering
+replica can be brought current: it is initialized from the most recent
+checkpoint and then replays the logged operations that follow it.  The log
+is truncated at each checkpoint.
+"""
+
+
+class OperationLogRecord:
+    """One logged operation: its identifier, name, arguments, and position."""
+
+    __slots__ = ("position", "operation_id", "operation", "args")
+
+    def __init__(self, position, operation_id, operation, args):
+        self.position = position
+        self.operation_id = operation_id
+        self.operation = operation
+        self.args = args
+
+    def __repr__(self):
+        return "OperationLogRecord(#%d, %s, %s)" % (
+            self.position, self.operation, self.operation_id,
+        )
+
+
+class MessageLog:
+    """An append-only operation log with checkpoint-based truncation.
+
+    ``position`` is a monotonically increasing count of operations applied
+    to the object since creation; checkpoints record the position they
+    cover so replay starts exactly after it.
+    """
+
+    def __init__(self):
+        self.records = []
+        self.next_position = 1
+        self.checkpoint_position = 0
+        self.checkpoint_state = None
+
+    def append(self, operation_id, operation, args):
+        """Log one applied operation; returns its position."""
+        record = OperationLogRecord(
+            self.next_position, operation_id, operation, args
+        )
+        self.records.append(record)
+        self.next_position += 1
+        return record.position
+
+    def checkpoint(self, state):
+        """Record a checkpoint of the object state; truncates the log."""
+        self.checkpoint_position = self.next_position - 1
+        self.checkpoint_state = state
+        self.records = []
+
+    def replay_records(self):
+        """Records to replay on top of the last checkpoint, in order."""
+        return list(self.records)
+
+    def since(self, position):
+        """Records strictly after ``position``."""
+        return [r for r in self.records if r.position > position]
+
+    @property
+    def length(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return "MessageLog(ckpt@%d, +%d records)" % (
+            self.checkpoint_position, len(self.records),
+        )

@@ -1,0 +1,187 @@
+"""State transfer mechanisms: blocking and incremental.
+
+Two mechanisms, following the papers:
+
+- **Blocking transfer**: suspend operations on the object, marshal the
+  whole state, send it, resume.  Simple, correct, and appropriate for
+  small states; its cost is a stall proportional to the state size.
+
+- **Incremental (non-blocking) transfer**: the source keeps processing
+  operations.  The existing state is sent in chunks; every update applied
+  during the transfer is logged as an image (a *pre-image* for active
+  replication, a *post-image* for passive) and the images are sent after
+  the chunks.  The receiver reconstructs a consistent state by applying
+  the images over the possibly-torn chunked snapshot, then replays the
+  operations it logged while the transfer was in progress.
+
+These classes are mechanism objects: the replication layer feeds them and
+ships their messages through the group communication system.  They are
+deliberately transport-agnostic so they can be unit-tested standalone.
+"""
+
+from repro.orb.cdr import decode_value, encode_value
+
+
+class StateImage:
+    """An update image logged during an incremental transfer.
+
+    ``kind`` is ``"pre"`` or ``"post"``; ``key`` identifies the updated
+    part of the state; ``value`` is the part's value before (pre) or after
+    (post) the update.
+    """
+
+    __slots__ = ("kind", "key", "value", "position")
+
+    def __init__(self, kind, key, value, position):
+        if kind not in ("pre", "post"):
+            raise ValueError("image kind must be 'pre' or 'post'")
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "StateImage(%s, %s, #%d)" % (self.kind, self.key, self.position)
+
+
+class TransferStats:
+    """Accounting for one state transfer."""
+
+    def __init__(self):
+        self.chunks = 0
+        self.chunk_bytes = 0
+        self.images = 0
+        self.image_bytes = 0
+        self.started_at = None
+        self.finished_at = None
+
+    @property
+    def total_bytes(self):
+        return self.chunk_bytes + self.image_bytes
+
+    @property
+    def duration(self):
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def __repr__(self):
+        return "TransferStats(chunks=%d, images=%d, bytes=%d)" % (
+            self.chunks, self.images, self.total_bytes,
+        )
+
+
+class BlockingTransfer:
+    """Whole-state capture/restore; the object must be quiescent."""
+
+    @staticmethod
+    def capture(servant):
+        """Marshal the servant's full state; returns (bytes, size)."""
+        data = encode_value(servant.get_state())
+        return data, len(data)
+
+    @staticmethod
+    def apply(servant, data):
+        """Restore a servant from a :meth:`capture` payload."""
+        servant.set_state(decode_value(data))
+
+
+class IncrementalTransfer:
+    """Chunked transfer with logged update images (source side).
+
+    Usage (source)::
+
+        transfer = IncrementalTransfer(servant.get_state(), chunk_size=4096)
+        for chunk in transfer.chunks():      # ship each chunk
+            ...
+        # while shipping, forward record_update() images as they happen
+        images = transfer.drain_images()
+
+    Usage (sink): accumulate chunks into :class:`IncrementalAssembler`,
+    then apply images, then replay locally-logged operations.
+    """
+
+    def __init__(self, state, chunk_size=4096):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.snapshot = encode_value(state)
+        self.chunk_size = chunk_size
+        self.images = []
+        self._position = 0
+        self.stats = TransferStats()
+
+    def chunk_count(self):
+        return (len(self.snapshot) + self.chunk_size - 1) // self.chunk_size or 1
+
+    def chunks(self):
+        """Yield (index, total, bytes) chunks of the snapshot."""
+        total = self.chunk_count()
+        for index in range(total):
+            chunk = self.snapshot[index * self.chunk_size:(index + 1) * self.chunk_size]
+            self.stats.chunks += 1
+            self.stats.chunk_bytes += len(chunk)
+            yield index, total, chunk
+
+    def record_update(self, kind, key, value):
+        """Log an update image applied while the transfer is in progress."""
+        self._position += 1
+        image = StateImage(kind, key, value, self._position)
+        self.images.append(image)
+        self.stats.images += 1
+        self.stats.image_bytes += len(encode_value(value)) + len(encode_value(key))
+        return image
+
+    def drain_images(self):
+        """Return and clear the logged images, in order."""
+        images, self.images = self.images, []
+        return images
+
+
+class IncrementalAssembler:
+    """Sink side of an incremental transfer: reassemble, then patch.
+
+    The assembled snapshot may be internally inconsistent (the source kept
+    processing while chunking); applying the images repairs it:
+
+    - post-images simply overwrite the key with the value after the update;
+    - pre-images identify keys whose in-snapshot value may reflect a later
+      update; the caller replays the corresponding operations after
+      restoring, so the pre-image restores the value from *before* the
+      update and the replay re-applies it deterministically.
+    """
+
+    def __init__(self):
+        self._chunks = {}
+        self._total = None
+        self.patched_keys = []
+
+    def add_chunk(self, index, total, data):
+        """Store one chunk; returns True when all chunks are present."""
+        self._total = total
+        self._chunks[index] = bytes(data)
+        return self.complete()
+
+    def complete(self):
+        return self._total is not None and len(self._chunks) == self._total
+
+    def assemble(self):
+        """Concatenate chunks and demarshal the snapshot state."""
+        if not self.complete():
+            raise ValueError("missing chunks: have %d of %s"
+                             % (len(self._chunks), self._total))
+        data = b"".join(self._chunks[i] for i in range(self._total))
+        return decode_value(data)
+
+    def apply_images(self, state, images):
+        """Patch an assembled dict-state with update images, in order."""
+        if not isinstance(state, dict):
+            if images:
+                raise ValueError("image patching requires a dict state")
+            return state
+        for image in sorted(images, key=lambda im: im.position):
+            if image.value is None and image.kind == "pre":
+                state.pop(image.key, None)
+            else:
+                state[image.key] = image.value
+            self.patched_keys.append(image.key)
+        return state

@@ -1,0 +1,44 @@
+"""Totem-style group communication: reliable totally-ordered multicast.
+
+This package reimplements, over the :mod:`repro.simnet` kernel, the
+algorithmic structure of the Totem single-ring protocol that the Eternal
+system uses as its consistency substrate:
+
+- a logical token-passing ring assigning a single sequence of message
+  numbers (total order), with retransmission requests carried on the token
+  (:mod:`repro.totem.processor`);
+- *agreed* delivery (deliver when all prior messages are received) and
+  *safe* delivery (deliver when every ring member is known to have
+  received the message);
+- a membership protocol (Join messages, consensus, Commit token) handling
+  processor failure and recovery, network partitioning and remerging;
+- extended-virtual-synchrony delivery: transitional configurations between
+  rings so that processors that move together between configurations
+  deliver the same messages (:mod:`repro.totem.events`);
+- a process-group layer with totally-ordered group membership views
+  (:mod:`repro.totem.process_groups`).
+"""
+
+from repro.totem.config import TotemConfig
+from repro.totem.events import (
+    DeliveredMessage,
+    RegularConfiguration,
+    TransitionalConfiguration,
+)
+from repro.totem.messages import RingId
+from repro.totem.processor import TotemProcessor
+from repro.totem.process_groups import GroupMember, GroupMessage, GroupView
+from repro.totem.cluster import TotemCluster
+
+__all__ = [
+    "TotemConfig",
+    "DeliveredMessage",
+    "RegularConfiguration",
+    "TransitionalConfiguration",
+    "RingId",
+    "TotemProcessor",
+    "GroupMember",
+    "GroupMessage",
+    "GroupView",
+    "TotemCluster",
+]

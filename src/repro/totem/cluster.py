@@ -1,0 +1,121 @@
+"""Convenience builder for a cluster of Totem processors.
+
+Used by tests, examples, and benchmarks to assemble a simulator, a network,
+and one processor (plus optional process-group endpoint) per node, and to
+run the simulation until a stable ring forms.
+"""
+
+from repro.simnet import LinkProfile, Network, Simulator
+from repro.totem.config import TotemConfig
+from repro.totem.process_groups import GroupMember
+from repro.totem.processor import TotemProcessor
+
+
+class TotemCluster:
+    """A simulator + network + one Totem processor per node."""
+
+    def __init__(self, node_ids, seed=0, profile=None, config=None, with_groups=False):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim, profile=profile or LinkProfile())
+        self.config = config or TotemConfig()
+        self.processors = {}
+        self.groups = {}
+        self.deliveries = {node_id: [] for node_id in node_ids}
+        self.configs = {node_id: [] for node_id in node_ids}
+        self.group_messages = {node_id: [] for node_id in node_ids}
+        self.group_views = {node_id: [] for node_id in node_ids}
+        for node_id in node_ids:
+            node = self.net.add_node(node_id)
+            processor = TotemProcessor(
+                self.net,
+                node,
+                config=self.config,
+                on_deliver=self._recorder(self.deliveries[node_id]),
+                on_config=self._recorder(self.configs[node_id]),
+            )
+            self.processors[node_id] = processor
+            if with_groups:
+                # The GroupMember takes over the processor's callbacks; raw
+                # deliveries are not recorded in this mode.
+                self.groups[node_id] = GroupMember(
+                    processor,
+                    on_message=self._recorder(self.group_messages[node_id]),
+                    on_view=self._recorder(self.group_views[node_id]),
+                    on_config=self._recorder(self.configs[node_id]),
+                )
+
+    @staticmethod
+    def _recorder(target):
+        return target.append
+
+    def start(self):
+        """Boot every processor at the current virtual time."""
+        for processor in self.processors.values():
+            processor.start()
+        return self
+
+    def live_processors(self):
+        """Processors whose node is currently up."""
+        return [p for p in self.processors.values() if p.node.alive]
+
+    def stable(self):
+        """True when every live processor has installed the same ring.
+
+        With partitions in force, "the same ring" is evaluated per network
+        component: every live processor must be operational on a ring whose
+        membership matches the live members of its component.
+        """
+        for processor in self.live_processors():
+            ring = processor.installed_ring
+            if ring is None:
+                return False
+            expected = [
+                node_id
+                for node_id in self.net.component_of(processor.node_id)
+                if self.net.node(node_id).alive
+            ]
+            if list(ring.members) != expected:
+                return False
+        # All processors sharing a component must agree on the ring id.
+        seen = {}
+        for processor in self.live_processors():
+            component = tuple(self.net.component_of(processor.node_id))
+            key = processor.installed_ring.key()
+            if seen.setdefault(component, key) != key:
+                return False
+        return True
+
+    def run_until_stable(self, timeout=5.0, step=0.005):
+        """Advance the simulation until :meth:`stable` or ``timeout``.
+
+        Returns the virtual time at which stability was observed.  Raises
+        ``TimeoutError`` if the deadline passes first.
+        """
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if self.stable():
+                return self.sim.now
+            self.sim.run_for(min(step, deadline - self.sim.now))
+        if self.stable():
+            return self.sim.now
+        raise TimeoutError(
+            "cluster did not stabilize within %.3fs: states=%s"
+            % (
+                timeout,
+                {
+                    p.node_id: (p.state, p.installed_ring)
+                    for p in self.processors.values()
+                },
+            )
+        )
+
+    def delivered_payloads(self, node_id, kind=None):
+        """Payloads delivered at a node, optionally filtered by envelope kind."""
+        result = []
+        for delivered in self.deliveries[node_id]:
+            payload = delivered.payload
+            if kind is None:
+                result.append(payload)
+            elif isinstance(payload, tuple) and payload and payload[0] == kind:
+                result.append(payload)
+        return result

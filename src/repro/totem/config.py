@@ -1,0 +1,71 @@
+"""Timer and window parameters of the Totem protocol.
+
+The defaults suit the default :class:`~repro.simnet.LinkProfile` (LAN with
+~100 microsecond latency).  Experiment E4 sweeps the failure-detection
+timers; experiment E3 sweeps the send window.
+"""
+
+
+class TotemConfig:
+    """Protocol parameters for one :class:`~repro.totem.TotemProcessor`.
+
+    Attributes:
+        token_hold: processing delay before forwarding the token, seconds.
+        token_retransmit_timeout: how long the last token sender waits for
+            evidence of progress before resending the token.
+        token_retransmit_limit: resend attempts before declaring token loss.
+        token_loss_timeout: how long a processor waits for the token to
+            return before starting the membership protocol.  This is the
+            primary failure-detection knob (experiment E4).
+        join_interval: period of Join re-broadcasts while forming a ring.
+        consensus_timeout: how long to wait for Joins from candidate members
+            before declaring them failed.
+        commit_timeout: how long to wait for the Commit token before
+            restarting the membership protocol.
+        recovery_retry_timeout: how long to wait for missing old-ring
+            messages during recovery before re-requesting them.
+        recovery_attempt_limit: re-request rounds before giving up on a
+            recovery and re-running the membership protocol.
+        window: maximum new messages a processor may broadcast per token
+            visit (flow control).
+        max_message_bytes: size attributed to protocol-only messages (token,
+            join, commit) for the network's serialization model.
+        beacon_interval: period of the representative's ring-advertisement
+            broadcast, which is how remerged components discover each other.
+    """
+
+    def __init__(
+        self,
+        token_hold=30e-6,
+        token_retransmit_timeout=0.005,
+        token_retransmit_limit=5,
+        token_loss_timeout=0.02,
+        join_interval=0.01,
+        consensus_timeout=0.05,
+        commit_timeout=0.1,
+        recovery_retry_timeout=0.02,
+        recovery_attempt_limit=10,
+        window=64,
+        max_message_bytes=128,
+        beacon_interval=0.05,
+    ):
+        self.token_hold = token_hold
+        self.token_retransmit_timeout = token_retransmit_timeout
+        self.token_retransmit_limit = token_retransmit_limit
+        self.token_loss_timeout = token_loss_timeout
+        self.join_interval = join_interval
+        self.consensus_timeout = consensus_timeout
+        self.commit_timeout = commit_timeout
+        self.recovery_retry_timeout = recovery_retry_timeout
+        self.recovery_attempt_limit = recovery_attempt_limit
+        self.window = window
+        self.max_message_bytes = max_message_bytes
+        self.beacon_interval = beacon_interval
+
+    def copy(self, **overrides):
+        """A copy of this config with selected fields replaced."""
+        fields = dict(self.__dict__)
+        fields.update(overrides)
+        clone = TotemConfig()
+        clone.__dict__.update(fields)
+        return clone

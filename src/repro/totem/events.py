@@ -1,0 +1,75 @@
+"""Events delivered by the Totem layer to its application.
+
+The extended-virtual-synchrony model delivers two kinds of configuration
+change events:
+
+- :class:`RegularConfiguration` -- a new ring is installed; messages
+  delivered after it carry the full agreed/safe guarantees with respect to
+  the new membership.
+- :class:`TransitionalConfiguration` -- announces the reduced membership
+  (the survivors of the old ring that moved together to the new one) in
+  which the remaining old-ring messages are delivered.  Messages delivered
+  between a transitional and the following regular configuration are
+  guaranteed only with respect to the transitional members.
+"""
+
+
+class DeliveredMessage:
+    """An application message handed up by the ordering layer.
+
+    ``transitional`` is True for old-ring messages delivered after a
+    transitional configuration (their guarantee is with respect to the
+    transitional membership only).
+    """
+
+    __slots__ = ("sender", "payload", "size", "ring_key", "seq", "guarantee", "transitional")
+
+    def __init__(self, sender, payload, size, ring_key, seq, guarantee, transitional):
+        self.sender = sender
+        self.payload = payload
+        self.size = size
+        self.ring_key = ring_key
+        self.seq = seq
+        self.guarantee = guarantee
+        self.transitional = transitional
+
+    def order_key(self):
+        """Totally-ordered position of this delivery: (ring seq, msg seq)."""
+        return (self.ring_key[0], self.seq)
+
+    def __repr__(self):
+        flag = " transitional" if self.transitional else ""
+        return "Delivered(ring=%d, seq=%d, from=%s%s)" % (
+            self.ring_key[0], self.seq, self.sender, flag,
+        )
+
+
+class RegularConfiguration:
+    """Installation of a new ring with the given members."""
+
+    __slots__ = ("ring_key", "members")
+
+    def __init__(self, ring_key, members):
+        self.ring_key = ring_key
+        self.members = tuple(sorted(members))
+
+    def __repr__(self):
+        return "RegularConfiguration(ring=%d, members=%s)" % (
+            self.ring_key[0], list(self.members),
+        )
+
+
+class TransitionalConfiguration:
+    """Reduced membership bridging an old ring to a new one."""
+
+    __slots__ = ("old_ring_key", "new_ring_key", "members")
+
+    def __init__(self, old_ring_key, new_ring_key, members):
+        self.old_ring_key = old_ring_key
+        self.new_ring_key = new_ring_key
+        self.members = tuple(sorted(members))
+
+    def __repr__(self):
+        return "TransitionalConfiguration(old=%s, members=%s)" % (
+            self.old_ring_key, list(self.members),
+        )

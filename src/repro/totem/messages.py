@@ -1,0 +1,229 @@
+"""Wire-level message types of the Totem protocol.
+
+These are plain Python objects passed through the simulated network (no
+byte-level encoding: the network model charges a size in bytes, supplied by
+the sender, for its serialization-delay model).
+"""
+
+
+class RingId:
+    """Identity of one ring configuration: a sequence number plus members.
+
+    Ring sequence numbers increase monotonically across configuration
+    changes (by 4 each time, following Totem, so that distinct concurrent
+    components never reuse an id: each component adds the number of members
+    it lost, which keeps ids unique without coordination -- we keep the +4
+    convention and additionally break ties with the representative id).
+    """
+
+    __slots__ = ("seq", "members", "representative")
+
+    def __init__(self, seq, members):
+        self.seq = seq
+        self.members = tuple(sorted(members))
+        self.representative = self.members[0] if self.members else None
+
+    def key(self):
+        """Hashable identity used to index per-ring message stores."""
+        return (self.seq, self.members)
+
+    def successor_of(self, node_id):
+        """The next member after ``node_id`` on the logical ring."""
+        index = self.members.index(node_id)
+        return self.members[(index + 1) % len(self.members)]
+
+    def __eq__(self, other):
+        return isinstance(other, RingId) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "RingId(seq=%d, members=%s)" % (self.seq, list(self.members))
+
+
+class DataMessage:
+    """A regular multicast message sequenced on a ring.
+
+    ``guarantee`` is ``"agreed"`` or ``"safe"``; ``retransmit`` marks copies
+    re-broadcast in answer to a retransmission request.
+    """
+
+    __slots__ = ("ring", "seq", "sender", "payload", "size", "guarantee", "retransmit")
+
+    def __init__(self, ring, seq, sender, payload, size, guarantee, retransmit=False):
+        self.ring = ring
+        self.seq = seq
+        self.sender = sender
+        self.payload = payload
+        self.size = size
+        self.guarantee = guarantee
+        self.retransmit = retransmit
+
+    def copy_for_retransmit(self):
+        return DataMessage(
+            self.ring, self.seq, self.sender, self.payload, self.size,
+            self.guarantee, retransmit=True,
+        )
+
+    def __repr__(self):
+        return "DataMessage(ring=%d, seq=%d, from=%s)" % (
+            self.ring.seq, self.seq, self.sender,
+        )
+
+
+class Token:
+    """The circulating token of the single-ring ordering protocol.
+
+    Attributes:
+        ring: the ring this token belongs to.
+        token_id: hop counter; receivers drop tokens whose id is not greater
+            than the last one they handled (duplicate suppression for token
+            retransmission).
+        seq: highest message sequence number allocated on this ring.
+        rtr: retransmission requests -- set of sequence numbers some member
+            is missing.
+        rotation_min: minimum of members' all-received-up-to values seen so
+            far in the current token rotation.
+        safe_seq: the rotation_min of the previous complete rotation: every
+            member is known to have received all messages up to safe_seq,
+            which is the criterion for *safe* delivery.
+    """
+
+    __slots__ = ("ring", "token_id", "seq", "rtr", "rotation_min", "safe_seq")
+
+    def __init__(self, ring, token_id=1, seq=0, rtr=None, rotation_min=0, safe_seq=0):
+        self.ring = ring
+        self.token_id = token_id
+        self.seq = seq
+        self.rtr = set(rtr) if rtr else set()
+        self.rotation_min = rotation_min
+        self.safe_seq = safe_seq
+
+    def copy(self):
+        return Token(
+            self.ring, self.token_id, self.seq, set(self.rtr),
+            self.rotation_min, self.safe_seq,
+        )
+
+    def __repr__(self):
+        return "Token(ring=%d, id=%d, seq=%d, safe=%d, rtr=%d)" % (
+            self.ring.seq, self.token_id, self.seq, self.safe_seq, len(self.rtr),
+        )
+
+
+class RingBeacon:
+    """Periodic advertisement of an installed ring by its representative.
+
+    Idle rings exchange only unicast tokens, so without a multicast signal
+    two remerged components would never notice each other.  The beacon is
+    the merge-detection signal: receiving one from a ring we do not belong
+    to triggers the membership protocol.
+    """
+
+    __slots__ = ("ring", "sender")
+
+    def __init__(self, ring, sender):
+        self.ring = ring
+        self.sender = sender
+
+    def __repr__(self):
+        return "RingBeacon(ring=%d, from=%s)" % (self.ring.seq, self.sender)
+
+
+class JoinMessage:
+    """Membership proposal broadcast while forming a new ring.
+
+    ``proc_set`` is the set of processors the sender believes operational;
+    ``fail_set`` the set it has given up on; ``max_ring_seq`` the highest
+    ring sequence number the sender has ever been part of (used to pick a
+    fresh ring id for the new configuration).
+    """
+
+    __slots__ = ("sender", "proc_set", "fail_set", "max_ring_seq")
+
+    def __init__(self, sender, proc_set, fail_set, max_ring_seq):
+        self.sender = sender
+        self.proc_set = frozenset(proc_set)
+        self.fail_set = frozenset(fail_set)
+        self.max_ring_seq = max_ring_seq
+
+    def __repr__(self):
+        return "Join(from=%s, procs=%s, fail=%s)" % (
+            self.sender, sorted(self.proc_set), sorted(self.fail_set),
+        )
+
+
+class MemberInfo:
+    """Per-member record carried on the Commit token.
+
+    Describes what the member holds from its previous ring so that every
+    member can compute, deterministically, the union of recoverable
+    messages and who is responsible for re-broadcasting each one.
+    """
+
+    __slots__ = ("member", "old_ring_key", "aru", "high_seq", "have")
+
+    def __init__(self, member, old_ring_key, aru, high_seq, have):
+        self.member = member
+        self.old_ring_key = old_ring_key
+        self.aru = aru
+        self.high_seq = high_seq
+        self.have = tuple(sorted(have))
+
+    def __repr__(self):
+        return "MemberInfo(%s, old=%s, aru=%d, high=%d)" % (
+            self.member, self.old_ring_key, self.aru, self.high_seq,
+        )
+
+
+class CommitToken:
+    """Two-rotation commit token installing a new ring.
+
+    Rotation 1 collects a :class:`MemberInfo` from every member; rotation 2
+    (``complete=True``) distributes the collected set, moving each member
+    into the recovery phase.
+    """
+
+    __slots__ = ("ring", "infos", "complete", "hop")
+
+    def __init__(self, ring, infos=None, complete=False, hop=0):
+        self.ring = ring
+        self.infos = dict(infos) if infos else {}
+        self.complete = complete
+        self.hop = hop
+
+    def copy(self):
+        return CommitToken(self.ring, dict(self.infos), self.complete, self.hop)
+
+    def __repr__(self):
+        return "CommitToken(ring=%d, infos=%d, complete=%s)" % (
+            self.ring.seq, len(self.infos), self.complete,
+        )
+
+
+class RecoveryRequest:
+    """Request to re-broadcast specific old-ring messages during recovery."""
+
+    __slots__ = ("ring_key", "seqs", "sender")
+
+    def __init__(self, ring_key, seqs, sender):
+        self.ring_key = ring_key
+        self.seqs = tuple(sorted(seqs))
+        self.sender = sender
+
+    def __repr__(self):
+        return "RecoveryRequest(ring=%s, seqs=%s)" % (self.ring_key, list(self.seqs))
+
+
+class RecoveryDone:
+    """Announcement that a member finished recovering old-ring messages."""
+
+    __slots__ = ("new_ring_key", "sender")
+
+    def __init__(self, new_ring_key, sender):
+        self.new_ring_key = new_ring_key
+        self.sender = sender
+
+    def __repr__(self):
+        return "RecoveryDone(ring=%s, from=%s)" % (self.new_ring_key, self.sender)

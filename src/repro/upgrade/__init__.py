@@ -1,0 +1,20 @@
+"""Live upgrades: replacing objects and hosts without stopping the system.
+
+The paper's conclusion is explicit that fault-masking is also
+upgrade-masking: "the ability to mask the failure of an object or
+processor can also be used to mask the deliberate removal of an object or
+processor and its replacement by an upgraded object" -- over time every
+hardware and software component can be replaced without interrupting
+service, which is why the system is called *Eternal*.
+
+:class:`LiveUpgradeCoordinator` implements that procedure on top of the
+replication mechanisms: replicas of a group are replaced one at a time
+(add upgraded replica → state transfer brings it current → retire one
+old replica), so the group never drops below quorum and clients never
+observe an interruption.  Version adapters let the new implementation
+accept the old implementation's state.
+"""
+
+from repro.upgrade.coordinator import LiveUpgradeCoordinator, UpgradePlan
+
+__all__ = ["LiveUpgradeCoordinator", "UpgradePlan"]

@@ -1,0 +1,167 @@
+"""Rolling live-upgrade coordination over the replication mechanisms."""
+
+
+class UpgradeStep:
+    """One replica replacement in a rolling upgrade."""
+
+    __slots__ = ("node", "new_node", "started_at", "ready_at")
+
+    def __init__(self, node, new_node, started_at):
+        self.node = node
+        self.new_node = new_node
+        self.started_at = started_at
+        self.ready_at = None
+
+    @property
+    def duration(self):
+        if self.ready_at is None:
+            return None
+        return self.ready_at - self.started_at
+
+    def __repr__(self):
+        return "UpgradeStep(%s -> %s, %.4fs)" % (
+            self.node, self.new_node, self.duration or -1.0,
+        )
+
+
+class UpgradePlan:
+    """Record of a completed (or failed) live upgrade."""
+
+    def __init__(self, group, mode):
+        self.group = group
+        self.mode = mode
+        self.steps = []
+        self.completed = False
+
+    def __repr__(self):
+        return "UpgradePlan(%s, %s, %d steps, %s)" % (
+            self.group, self.mode, len(self.steps),
+            "completed" if self.completed else "in progress",
+        )
+
+
+class LiveUpgradeCoordinator:
+    """Replaces a group's replicas with upgraded implementations, live.
+
+    Two rolling modes:
+
+    - ``in-place``: retire one replica, host the upgraded implementation
+      on the same node (initialized by state transfer from the remaining
+      old replicas).  The degree dips by one during each step, so the
+      group must have at least two replicas.
+    - ``spare``: host the upgraded implementation on a spare node first,
+      wait for it to become current, then retire an old replica (whose
+      node becomes the spare for the next step).  The degree never dips.
+
+    ``state_adapter`` converts the previous implementation's state into
+    the new implementation's format during the initializing transfer,
+    which is what allows the versions to differ in representation.
+    """
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.history = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def upgrade(self, system, group, new_factory, state_adapter=None,
+                spare=None, mode="in-place", step_timeout=30.0, settle=0.5):
+        """Run a rolling upgrade to completion; returns the UpgradePlan.
+
+        ``system`` is the EternalSystem driving the simulation (the
+        coordinator is a management-plane client just like the
+        ReplicationManager).
+        """
+        if mode not in ("in-place", "spare"):
+            raise ValueError("mode must be 'in-place' or 'spare'")
+        record = self.manager._record(group)
+        plan = UpgradePlan(group, mode)
+        self.history.append(plan)
+        adapted_factory = self._adapt(new_factory, state_adapter)
+        old_locations = list(record.locations)
+        if mode == "in-place" and len(old_locations) < 2:
+            raise ValueError("in-place upgrade needs at least 2 replicas")
+        if mode == "spare" and spare is None:
+            raise ValueError("spare mode needs a spare node")
+
+        for node in old_locations:
+            if mode == "in-place":
+                step = self._in_place_step(system, group, node,
+                                           adapted_factory, step_timeout)
+            else:
+                step = self._spare_step(system, group, node, spare,
+                                        adapted_factory, step_timeout)
+                spare = node  # the retired node becomes the next spare
+            plan.steps.append(step)
+            system.run_for(settle)
+        # From now on the group is entirely on the new implementation, so
+        # future joiners receive new-format state and need no adapter.
+        # (During the roll itself, a step's sponsor may already be an
+        # upgraded replica -- state_adapter must therefore be version-aware
+        # or idempotent; tag states with a version field.)
+        record.factory = new_factory
+        plan.completed = True
+        return plan
+
+    # ------------------------------------------------------------------
+    # Step implementations
+    # ------------------------------------------------------------------
+
+    def _in_place_step(self, system, group, node, factory, step_timeout):
+        step = UpgradeStep(node, node, system.sim.now)
+        self.manager.remove_member(group, node)
+        system.run_for(0.2)  # let the leave view propagate
+        engine = self.manager.engines[node]
+        engine.host_replica(group, factory(), self.manager._record(group).policy,
+                            ready=False)
+        self.manager._record(group).locations.append(node)
+        self._await_ready(system, engine, group, step_timeout)
+        step.ready_at = system.sim.now
+        return step
+
+    def _spare_step(self, system, group, node, spare, factory, step_timeout):
+        step = UpgradeStep(node, spare, system.sim.now)
+        engine = self.manager.engines[spare]
+        engine.host_replica(group, factory(), self.manager._record(group).policy,
+                            ready=False)
+        self.manager._record(group).locations.append(spare)
+        self._await_ready(system, engine, group, step_timeout)
+        self.manager.remove_member(group, node)
+        step.ready_at = system.sim.now
+        return step
+
+    @staticmethod
+    def _await_ready(system, engine, group, step_timeout):
+        deadline = system.sim.now + step_timeout
+        while system.sim.now < deadline:
+            replica = engine.replica(group)
+            if replica is not None and replica.ready:
+                return
+            system.run_for(0.02)
+        raise TimeoutError(
+            "upgraded replica of %s on %s never became current"
+            % (group, engine.node_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _adapt(new_factory, state_adapter):
+        if state_adapter is None:
+            return new_factory
+
+        def adapted():
+            servant = new_factory()
+            original_set_state = servant.set_state
+
+            def set_state(state):
+                original_set_state(state_adapter(state))
+
+            servant.set_state = set_state
+            return servant
+
+        return adapted

@@ -1,0 +1,39 @@
+"""Workload components: sample servants and request generators.
+
+The servants here are the applications used throughout the tests,
+examples, and benchmarks: a counter (echo-style minimal object), a bank
+account (the classic replication demo), a key-value store (parameterizable
+state size for the state-transfer experiments), the automobile-sales
+inventory from the Eternal papers' running example, and a compute service
+(parameterizable operation cost for the active-vs-passive tradeoff).
+"""
+
+from repro.workloads.apps import (
+    Accumulator,
+    BankAccount,
+    ComputeService,
+    Counter,
+    EchoServer,
+    InsufficientFunds,
+    Inventory,
+    KeyValueStore,
+)
+from repro.workloads.generators import (
+    ClosedLoopClient,
+    OpenLoopGenerator,
+    RequestRecord,
+)
+
+__all__ = [
+    "Accumulator",
+    "BankAccount",
+    "ComputeService",
+    "Counter",
+    "EchoServer",
+    "InsufficientFunds",
+    "Inventory",
+    "KeyValueStore",
+    "ClosedLoopClient",
+    "OpenLoopGenerator",
+    "RequestRecord",
+]

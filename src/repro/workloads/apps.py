@@ -1,0 +1,305 @@
+"""Sample servants exercised by tests, examples, and benchmarks."""
+
+from repro.orb.exceptions import ApplicationError
+from repro.orb.idl import NestedCall, Servant, operation
+from repro.state.checkpointable import Checkpointable
+
+
+class InsufficientFunds(ApplicationError):
+    """Raised when a withdrawal exceeds the account balance."""
+
+    def __init__(self, requested, available):
+        super().__init__(
+            "InsufficientFunds",
+            "requested %s but only %s available" % (requested, available),
+        )
+        self.requested = requested
+        self.available = available
+
+
+class Counter(Servant, Checkpointable):
+    """Minimal stateful object: the quickstart servant."""
+
+    def __init__(self, value=0):
+        self.value = value
+
+    @operation()
+    def increment(self, amount=1):
+        self.value += amount
+        return self.value
+
+    @operation()
+    def decrement(self, amount=1):
+        self.value -= amount
+        return self.value
+
+    @operation(read_only=True)
+    def read(self):
+        return self.value
+
+    @operation(oneway=True)
+    def poke(self):
+        self.value += 1
+
+    def get_state(self):
+        return self.value
+
+    def set_state(self, state):
+        self.value = state
+
+
+class EchoServer(Servant, Checkpointable):
+    """Stateless echo used for latency benchmarks (payload size sweeps)."""
+
+    def __init__(self):
+        self.calls = 0
+
+    @operation()
+    def echo(self, payload):
+        self.calls += 1
+        return payload
+
+    @operation(read_only=True)
+    def call_count(self):
+        return self.calls
+
+    def get_state(self):
+        return self.calls
+
+    def set_state(self, state):
+        self.calls = state
+
+
+class BankAccount(Servant, Checkpointable):
+    """Bank account with nested inter-object transfers."""
+
+    def __init__(self, owner, balance=0):
+        self.owner = owner
+        self.balance = balance
+        self.history = []
+
+    @operation()
+    def deposit(self, amount):
+        if amount <= 0:
+            raise ApplicationError("InvalidAmount", "deposit must be positive")
+        self.balance += amount
+        self.history.append(("deposit", amount))
+        return self.balance
+
+    @operation()
+    def withdraw(self, amount):
+        if amount > self.balance:
+            raise InsufficientFunds(amount, self.balance)
+        self.balance -= amount
+        self.history.append(("withdraw", amount))
+        return self.balance
+
+    @operation(read_only=True)
+    def get_balance(self):
+        return self.balance
+
+    @operation()
+    def transfer(self, other_account_ref, amount):
+        """Nested operation: withdraw here, deposit at another account."""
+        if amount > self.balance:
+            raise InsufficientFunds(amount, self.balance)
+        self.balance -= amount
+        self.history.append(("transfer-out", amount))
+        result = yield NestedCall(other_account_ref, "deposit", (amount,))
+        return result
+
+    def get_state(self):
+        return {"owner": self.owner, "balance": self.balance,
+                "history": [list(h) for h in self.history]}
+
+    def set_state(self, state):
+        self.owner = state["owner"]
+        self.balance = state["balance"]
+        self.history = [tuple(h) for h in state["history"]]
+
+
+class KeyValueStore(Servant, Checkpointable):
+    """Key-value store with a parameterizable state footprint.
+
+    ``preload(n, value_size)`` fills the store so state-transfer benchmarks
+    can sweep the state size.
+    """
+
+    def __init__(self):
+        self.data = {}
+        self._last_image = None
+
+    @operation()
+    def put(self, key, value):
+        self.data[key] = value
+        self._last_image = ("set", key, value)
+        return True
+
+    @operation(read_only=True)
+    def get(self, key):
+        if key not in self.data:
+            raise ApplicationError("KeyNotFound", key)
+        return self.data[key]
+
+    @operation()
+    def delete(self, key):
+        existed = self.data.pop(key, None) is not None
+        self._last_image = ("del", key, None)
+        return existed
+
+    # Post-image support (see GroupPolicy.update_mode="image"): the
+    # replication engine ships these instead of the full state after each
+    # operation, which is what makes warm-passive replication of
+    # large-state objects affordable.
+
+    def get_update_image(self):
+        image, self._last_image = self._last_image, None
+        return image
+
+    def apply_update_image(self, image):
+        kind, key, value = image
+        if kind == "set":
+            self.data[key] = value
+        elif kind == "del":
+            self.data.pop(key, None)
+        else:
+            raise ApplicationError("BadImage", repr(kind))
+
+    @operation(read_only=True)
+    def size(self):
+        return len(self.data)
+
+    @operation()
+    def preload(self, count, value_size):
+        filler = "v" * value_size
+        for index in range(count):
+            self.data["key-%06d" % index] = filler
+        return len(self.data)
+
+    def get_state(self):
+        return dict(self.data)
+
+    def set_state(self, state):
+        self.data = dict(state)
+
+
+class Inventory(Servant, Checkpointable):
+    """The automobile-sales inventory from the Eternal papers' example.
+
+    Selling decrements stock and issues a shipping order; manufacturing
+    increments stock.  When stock runs out, a sale raises a back order --
+    the application-specific condition that partition-remerge fulfillment
+    operations must handle.
+    """
+
+    def __init__(self, stock=0):
+        self.stock = stock
+        self.shipping_orders = []
+        self.back_orders = []
+
+    @operation()
+    def sell(self, order_id):
+        if self.stock > 0:
+            self.stock -= 1
+            self.shipping_orders.append(order_id)
+            return {"order": order_id, "status": "shipped", "stock": self.stock}
+        self.back_orders.append(order_id)
+        return {"order": order_id, "status": "back-ordered", "stock": self.stock}
+
+    @operation()
+    def manufacture(self, count=1):
+        self.stock += count
+        return self.stock
+
+    @operation(read_only=True)
+    def stock_level(self):
+        return self.stock
+
+    @operation(read_only=True)
+    def report(self):
+        return {
+            "stock": self.stock,
+            "shipped": list(self.shipping_orders),
+            "back_orders": list(self.back_orders),
+        }
+
+    def get_state(self):
+        return {
+            "stock": self.stock,
+            "shipping_orders": list(self.shipping_orders),
+            "back_orders": list(self.back_orders),
+        }
+
+    def set_state(self, state):
+        self.stock = state["stock"]
+        self.shipping_orders = list(state["shipping_orders"])
+        self.back_orders = list(state["back_orders"])
+
+
+class Accumulator(Servant, Checkpointable):
+    """Order-sensitive state: the divergence amplifier for experiment E9.
+
+    ``apply`` folds its argument into the value with a non-commutative
+    operation, so two replicas that execute the same operations in
+    different orders end up with different values -- exactly the failure
+    mode unconstrained multithreaded dispatch causes.
+
+    ``simulated_cost`` gives each operation a processing time so that,
+    under the concurrent dispatch policy, several operations are in
+    flight at once and can interleave.
+    """
+
+    def __init__(self, simulated_cost=0.002):
+        self.value = 7
+        self.simulated_cost = simulated_cost
+
+    @operation()
+    def apply(self, x):
+        self.value = (self.value * 31 + x) % 1_000_000_007
+        return self.value
+
+    @operation(read_only=True)
+    def read(self):
+        return self.value
+
+    def get_state(self):
+        return self.value
+
+    def set_state(self, state):
+        self.value = state
+
+
+class ComputeService(Servant, Checkpointable):
+    """Operation with a configurable simulated compute cost.
+
+    Active replication pays the operation cost at every replica; passive
+    replication pays it once plus a state push.  ``work_units`` drives that
+    tradeoff in benchmark E1/E2.  The *simulated* cost is modeled by the
+    replication layer reading :attr:`simulated_cost` -- the Python work
+    itself is trivial so benchmarks stay fast.
+    """
+
+    def __init__(self, simulated_cost=0.0, state_entries=0):
+        self.simulated_cost = simulated_cost
+        self.results = {}
+        for index in range(state_entries):
+            self.results["seed-%d" % index] = index
+
+    @operation()
+    def compute(self, job_id, iterations):
+        value = 0
+        for index in range(min(iterations, 1000)):
+            value = (value * 31 + index) % 1_000_003
+        self.results[job_id] = value
+        return value
+
+    @operation(read_only=True)
+    def result_of(self, job_id):
+        return self.results.get(job_id)
+
+    def get_state(self):
+        return {"cost": self.simulated_cost, "results": dict(self.results)}
+
+    def set_state(self, state):
+        self.simulated_cost = state["cost"]
+        self.results = dict(state["results"])

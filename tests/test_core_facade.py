@@ -1,0 +1,109 @@
+"""Tests for the EternalSystem facade and simnet odds and ends."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import FaultPlan, Simulator
+from repro.workloads import Counter
+
+
+def test_add_node_after_start_joins_cluster():
+    system = EternalSystem(["n1", "n2"]).start()
+    system.stabilize()
+    late = system.add_node("n3")
+    late.processor.start()
+    system.stabilize(timeout=10.0)
+    assert late.processor.installed_ring.members == ("n1", "n2", "n3")
+
+
+def test_states_of_excludes_dead_and_not_ready():
+    system = EternalSystem(["n1", "n2", "n3"]).start()
+    system.stabilize()
+    system.create_replicated("ctr", Counter, ["n1", "n2"])
+    system.run_for(0.5)
+    system.crash("n2")
+    states = system.states_of("ctr")
+    assert list(states) == ["n1"]
+
+
+def test_stabilize_timeout_raises():
+    system = EternalSystem(["n1", "n2"]).start()
+    # Immediately partition every node apart and crash one; then ask for a
+    # very short stabilization while a node is mid-gather.
+    system.crash("n2")
+    system.recover("n2")
+    with pytest.raises(TimeoutError):
+        system.stabilize(timeout=0.0001, settle=0.0)
+
+
+def test_call_timeout_raises():
+    system = EternalSystem(["n1", "n2"]).start()
+    system.stabilize()
+    ior = system.create_replicated("ctr", Counter, ["n1"])
+    system.run_for(0.3)
+    system.crash("n1")
+    stub = system.stub("n2", ior)
+    with pytest.raises(TimeoutError):
+        system.call(stub.read(), timeout=0.05)
+
+
+def test_fault_plan_with_eternal_system():
+    system = EternalSystem(["n1", "n2", "n3"]).start()
+    system.stabilize()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    now = system.sim.now
+    plan = FaultPlan().crash(now + 1.0, "n3").recover(now + 2.0, "n3")
+    plan.arm(system.net)
+    system.sim.run_until(now + 1.5)
+    assert not system.net.node("n3").alive
+    system.sim.run_until(now + 2.5)
+    assert system.net.node("n3").alive
+    system.stabilize(timeout=10.0)
+
+
+def test_engine_accessor_and_replicas_of():
+    system = EternalSystem(["n1", "n2"]).start()
+    system.stabilize()
+    system.create_replicated("ctr", Counter, ["n1"])
+    system.run_for(0.3)
+    assert system.engine("n1").replica("ctr") is not None
+    assert set(system.replicas_of("ctr")) == {"n1"}
+    assert system.engine("n2").replica("ctr") is None
+
+
+def test_deterministic_replay_of_whole_system():
+    def run(seed):
+        system = EternalSystem(["n1", "n2", "n3"], seed=seed).start()
+        system.stabilize()
+        ior = system.create_replicated(
+            "ctr", Counter, ["n1", "n2", "n3"],
+            GroupPolicy(style=ReplicationStyle.ACTIVE),
+        )
+        system.run_for(0.5)
+        stub = system.stub("n1", ior)
+        for _ in range(5):
+            system.call(stub.increment(1))
+        system.crash("n2")
+        system.stabilize()
+        system.call(stub.increment(1))
+        return system.sim.now, dict(system.sim.trace.counters)
+
+    assert run(42) == run(42)
+    # (Note: with zero loss and jitter nothing stochastic happens, so
+    # different seeds legitimately produce identical traces here; the
+    # seed-sensitivity of lossy runs is covered in test_simnet_network.)
+
+
+def test_simulator_emit_and_run_helpers():
+    sim = Simulator(seed=1)
+    sim.emit("custom", {"a": 1}, size=5)
+    assert sim.trace.count("custom") == 1
+    fired = []
+    sim.schedule_at(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]

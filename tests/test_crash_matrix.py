@@ -1,0 +1,76 @@
+"""Crash matrix: every replication style x every victim role.
+
+A compact sweep asserting the invariant that matters -- after any single
+crash, the surviving replicas converge and the client's view stays
+continuous -- across the full style set and crash positions.
+"""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter
+
+STYLES = [
+    ReplicationStyle.ACTIVE,
+    ReplicationStyle.WARM_PASSIVE,
+    ReplicationStyle.COLD_PASSIVE,
+    ReplicationStyle.SEMI_ACTIVE,
+]
+# Victims: the primary/leader (s1), a backup/follower (s3), and the
+# client's own host (which holds no replica).
+VICTIMS = ["s1", "s3", "bystander"]
+
+
+@pytest.mark.parametrize("style", STYLES)
+@pytest.mark.parametrize("victim", VICTIMS)
+def test_single_crash_convergence(style, victim):
+    system = EternalSystem(
+        ["s1", "s2", "s3", "bystander", "client"], seed=1
+    ).start()
+    system.stabilize()
+    policy = GroupPolicy(style=style, checkpoint_interval_ops=2)
+    ior = system.create_replicated("ctr", Counter, ["s1", "s2", "s3"], policy)
+    system.run_for(0.5)
+    stub = system.stub("client", ior)
+
+    for expected in range(1, 4):
+        assert system.call(stub.increment(1), timeout=60.0) == expected
+
+    system.crash(victim)
+    system.stabilize(timeout=15.0)
+
+    for expected in range(4, 7):
+        assert system.call(stub.increment(1), timeout=60.0) == expected
+
+    system.run_for(1.0)
+    states = system.states_of("ctr")
+    survivors = {n for n in ("s1", "s2", "s3") if n != victim}
+    assert survivors <= set(states)
+    # Cold-passive backups lag by design between checkpoints; every other
+    # style must have fully converged survivors.
+    if style == ReplicationStyle.COLD_PASSIVE:
+        primary = min(survivors)
+        assert states[primary] == 6
+        assert all(states[node] <= 6 for node in survivors)
+    else:
+        assert set(states[node] for node in survivors) == {6}
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_client_host_crash_fails_only_that_client(style):
+    """Crashing the node a client runs on must not disturb the group."""
+    system = EternalSystem(["s1", "s2", "c1", "c2"], seed=2).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["s1", "s2"], GroupPolicy(style=style)
+    )
+    system.run_for(0.5)
+    stub1 = system.stub("c1", ior)
+    stub2 = system.stub("c2", ior)
+    assert system.call(stub1.increment(1), timeout=60.0) == 1
+    system.crash("c1")
+    system.stabilize(timeout=15.0)
+    assert system.call(stub2.increment(1), timeout=60.0) == 2
+    states = system.states_of("ctr")
+    assert states["s1"] == 2 or style == ReplicationStyle.COLD_PASSIVE

@@ -1,0 +1,149 @@
+"""Tests for determinism enforcement: dispatchers and sanitization.
+
+These validate the paper's lesson directly: unconstrained multithreaded
+dispatch and unsanitized environment reads make active replicas diverge;
+Eternal's enforced regime keeps them consistent.
+"""
+
+from repro.core import EternalSystem
+from repro.determinism import (
+    ConcurrentDispatcher,
+    DeterministicDispatcher,
+    SanitizedEnvironment,
+    make_dispatcher,
+)
+from repro.orb.idl import Servant, operation
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import Network, Simulator
+from repro.state.checkpointable import Checkpointable
+
+
+class _Task:
+    def __init__(self, name, cost, log, sim):
+        self.name = name
+        self.cost = cost
+        self._log = log
+        self._sim = sim
+
+    def run(self, done):
+        self._log.append((self.name, self._sim.now))
+        done()
+
+
+def test_deterministic_dispatcher_is_fifo():
+    sim = Simulator()
+    net = Network(sim)
+    node = net.add_node("n")
+    dispatcher = DeterministicDispatcher(sim, node)
+    log = []
+    for index in range(5):
+        dispatcher.submit(_Task(index, 0.01, log, sim))
+    sim.run_for(1.0)
+    assert [name for name, _t in log] == [0, 1, 2, 3, 4]
+    # Serial execution: starts separated by at least the cost.
+    times = [t for _n, t in log]
+    assert all(b - a >= 0.01 - 1e-9 for a, b in zip(times, times[1:]))
+
+
+def test_concurrent_dispatcher_overlaps():
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    node = net.add_node("n")
+    dispatcher = ConcurrentDispatcher(sim, node)
+    log = []
+    for index in range(20):
+        dispatcher.submit(_Task(index, 0.01, log, sim))
+    sim.run_for(1.0)
+    assert len(log) == 20
+    # Random per-task skew reorders completions.
+    assert [name for name, _t in log] != sorted(name for name, _t in log)
+
+
+def test_make_dispatcher_validates_policy():
+    sim = Simulator()
+    net = Network(sim)
+    node = net.add_node("n")
+    assert isinstance(make_dispatcher("deterministic", sim, node),
+                      DeterministicDispatcher)
+    assert isinstance(make_dispatcher("concurrent", sim, node),
+                      ConcurrentDispatcher)
+    import pytest
+
+    with pytest.raises(ValueError):
+        make_dispatcher("threads", sim, node)
+
+
+def test_sanitized_environment_identical_across_nodes():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    env_a = SanitizedEnvironment(sim, net.add_node("a"), sanitized=True)
+    env_b = SanitizedEnvironment(sim, net.add_node("b"), sanitized=True)
+    for op in [("c", "g", 1), ("n", ("c", "g", 1), 2)]:
+        env_a.current_operation_id = op
+        env_b.current_operation_id = op
+        assert env_a.time() == env_b.time()
+        assert env_a.random() == env_b.random()
+        assert env_a.randint(0, 100) == env_b.randint(0, 100)
+        assert env_a.unique_id() == env_b.unique_id()
+
+
+def test_sanitized_values_differ_across_operations():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    env = SanitizedEnvironment(sim, net.add_node("a"), sanitized=True)
+    env.current_operation_id = ("c", "g", 1)
+    first = env.random()
+    env.current_operation_id = ("c", "g", 2)
+    assert env.random() != first
+
+
+def test_unsanitized_environment_diverges_across_nodes():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    env_a = SanitizedEnvironment(sim, net.add_node("a"), sanitized=False)
+    env_b = SanitizedEnvironment(sim, net.add_node("b"), sanitized=False)
+    env_a.current_operation_id = env_b.current_operation_id = ("c", "g", 1)
+    assert env_a.time() != env_b.time()  # clock skew differs per node
+
+
+class TimestampRecorder(Servant, Checkpointable):
+    """Records the 'current time' it observes -- a divergence amplifier."""
+
+    def __init__(self):
+        self.stamps = []
+
+    @operation()
+    def stamp(self):
+        self.stamps.append(self.env.time())
+        return self.stamps[-1]
+
+    def get_state(self):
+        return list(self.stamps)
+
+    def set_state(self, state):
+        self.stamps = list(state)
+
+
+def _run_timestamps(sanitize):
+    system = EternalSystem(["n1", "n2", "n3"], seed=9).start()
+    system.stabilize()
+    policy = GroupPolicy(style=ReplicationStyle.ACTIVE,
+                         sanitize_environment=sanitize)
+    ior = system.create_replicated(
+        "ts", TimestampRecorder, ["n1", "n2", "n3"], policy
+    )
+    system.run_for(0.3)
+    stub = system.stub("n1", ior)
+    for _ in range(5):
+        system.call(stub.stamp())
+    return list(system.states_of("ts").values())
+
+
+def test_replicas_agree_with_sanitized_time():
+    states = _run_timestamps(sanitize=True)
+    assert states[0] == states[1] == states[2]
+
+
+def test_replicas_diverge_with_unsanitized_time():
+    states = _run_timestamps(sanitize=False)
+    assert not (states[0] == states[1] == states[2])

@@ -1,0 +1,144 @@
+"""White-box tests of replication-engine mechanisms."""
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter
+
+
+def system_up(nodes=("n1", "n2", "n3"), seed=0):
+    system = EternalSystem(list(nodes), seed=seed).start()
+    system.stabilize()
+    return system
+
+
+def test_request_retry_recovers_a_dropped_send():
+    """If the initial request multicast is swallowed, the retry (same
+    operation id) must complete the invocation exactly once."""
+    system = system_up()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2"], GroupPolicy(style=ReplicationStyle.ACTIVE)
+    )
+    system.run_for(0.5)
+    engine = system.engine("n3")
+    engine.request_retry_timeout = 0.2
+    real_send = engine.groups.send
+    dropped = {"count": 0}
+
+    def lossy_send(groups, payload, size=64, guarantee="agreed"):
+        if payload[0] == "ft-request" and dropped["count"] == 0:
+            dropped["count"] += 1
+            return  # swallow the first request silently
+        real_send(groups, payload, size=size, guarantee=guarantee)
+
+    engine.groups.send = lossy_send
+    stub = system.stub("n3", ior)
+    result = system.call(stub.increment(5), timeout=30.0)
+    assert result == 5
+    assert dropped["count"] == 1
+    assert system.sim.trace.count("ft.request.retry") >= 1
+    # Exactly-once despite the retry machinery.
+    assert set(system.states_of("ctr").values()) == {5}
+
+
+def test_duplicate_request_gets_cached_reply_resent():
+    system = system_up()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2"], GroupPolicy(style=ReplicationStyle.ACTIVE)
+    )
+    system.run_for(0.5)
+    stub = system.stub("n3", ior)
+    system.call(stub.increment(1))
+    # Re-deliver the same logical request (as a failover reinvocation
+    # would): find the completed op and re-inject it.
+    engine = system.engine("n1")
+    replica = engine.replica("ctr")
+    op_id = next(iter(replica.tables.completed_operation_ids()))
+    request_bytes, client_group = replica.completed_journal[op_id]
+    before_replies = system.sim.trace.count("ft.reply.sent")
+    before_ops = replica.ops_applied
+    engine._process_request(replica, op_id, request_bytes, client_group,
+                            False, (0, 0))
+    system.run_for(0.5)
+    # Not re-executed; the cached reply was re-transmitted by the primary.
+    assert replica.ops_applied == before_ops
+    assert system.sim.trace.count("ft.reply.sent") == before_replies + 1
+    assert replica.tables.suppressed_requests >= 1
+
+
+def test_client_reply_cache_resolves_late_issuer():
+    """A replicated client replica that issues its copy of an operation
+    after the reply was already delivered resolves instantly from the
+    reply cache."""
+    system = system_up(("s1", "s2", "c1", "c2"))
+    # c1/c2 share a client group.
+    for node in ("c1", "c2"):
+        engine = system.engine(node)
+        engine.client_group = "client/shared"
+        from repro.replication.identifiers import OperationIdAllocator
+
+        engine.allocator = OperationIdAllocator("client/shared")
+        system.nodes[node].groups.join("client/shared")
+    system.run_for(0.3)
+    ior = system.create_replicated(
+        "ctr", Counter, ["s1", "s2"], GroupPolicy(style=ReplicationStyle.ACTIVE)
+    )
+    system.run_for(0.5)
+    # c1 issues and completes the logical operation first.
+    result = system.call(system.stub("c1", ior).increment(1), timeout=30.0)
+    assert result == 1
+    system.run_for(0.5)
+    # c2 now issues its (deterministic duplicate) copy: same op id.
+    future = system.stub("c2", ior).increment(1)
+    assert future.done(), "late issuer should resolve from the reply cache"
+    assert future.result() == 1
+    # The object only ever executed the operation once.
+    assert set(system.states_of("ctr").values()) == {1}
+
+
+def test_engine_stats_shape():
+    system = system_up()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2"], GroupPolicy(style=ReplicationStyle.ACTIVE)
+    )
+    system.run_for(0.5)
+    stub = system.stub("n1", system.manager.ior_of("ctr"))
+    system.call(stub.increment(1))
+    stats = system.engine("n1").stats()
+    assert "ctr" in stats
+    entry = stats["ctr"]
+    assert entry["style"] == ReplicationStyle.ACTIVE
+    assert entry["ops_applied"] == 1
+    assert entry["suppressed_requests"] >= 0
+    assert entry["suppressed_replies"] >= 0
+
+
+def test_unhost_replica_leaves_group():
+    system = system_up()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    system.engine("n3").unhost_replica("ctr")
+    system.run_for(0.5)
+    assert system.nodes["n1"].groups.members_of("ctr") == ("n1", "n2")
+    # Still serving with the remaining members.
+    stub = system.stub("n3", system.manager.ior_of("ctr"))
+    assert system.call(stub.increment(1)) == 1
+
+
+def test_group_ior_type_id_from_servant():
+    system = system_up()
+    engine = system.engine("n1")
+    ior = engine.group_ior("g", Counter())
+    assert ior.type_id == "IDL:Counter:1.0"
+    assert engine.group_ior("g").type_id == "IDL:Object:1.0"
+
+
+def test_non_group_reference_still_uses_direct_path():
+    """Interception must leave unreplicated references on plain IIOP."""
+    system = system_up()
+    plain_ior = system.nodes["n1"].orb.poa.activate(Counter())
+    stub = system.stub("n2", plain_ior)
+    assert system.call(stub.increment(4)) == 4
+    assert system.sim.trace.count("ft.request.sent") == 0

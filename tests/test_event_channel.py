@@ -1,0 +1,121 @@
+"""Tests for the CosEvent-style event channel and its FaultNotifier role."""
+
+from repro.core import EternalSystem
+from repro.orb import ORB
+from repro.orb.events import EventChannel, PushConsumer
+from repro.orb.orb_core import wait_for
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import Network, Simulator
+
+
+def plain_setup(consumer_count=2):
+    sim = Simulator()
+    net = Network(sim)
+    channel_orb = ORB(net, net.add_node("channel"))
+    channel_ior = channel_orb.poa.activate(EventChannel())
+    consumers = []
+    for index in range(consumer_count):
+        orb = ORB(net, net.add_node("consumer-%d" % index))
+        consumer = PushConsumer()
+        ior = orb.poa.activate(consumer)
+        consumers.append((consumer, ior))
+    client_orb = ORB(net, net.add_node("client"))
+    return sim, client_orb, channel_ior, consumers
+
+
+def test_events_fan_out_to_all_consumers():
+    sim, client, channel_ior, consumers = plain_setup()
+    stub = client.stub(channel_ior)
+    for _consumer, ior in consumers:
+        wait_for(sim, stub.connect_push_consumer(ior.to_string()))
+    delivered = wait_for(sim, stub.push({"kind": "test", "n": 1}))
+    assert delivered == 2
+    for consumer, _ior in consumers:
+        assert consumer.received == [{"kind": "test", "n": 1}]
+
+
+def test_disconnect_stops_delivery():
+    sim, client, channel_ior, consumers = plain_setup()
+    stub = client.stub(channel_ior)
+    ids = [
+        wait_for(sim, stub.connect_push_consumer(ior.to_string()))
+        for _c, ior in consumers
+    ]
+    wait_for(sim, stub.disconnect_push_consumer(ids[0]))
+    wait_for(sim, stub.push("e1"))
+    assert consumers[0][0].received == []
+    assert consumers[1][0].received == ["e1"]
+
+
+def test_history_bounded_and_queryable():
+    sim, client, channel_ior, consumers = plain_setup(consumer_count=0)
+    stub = client.stub(channel_ior)
+    for index in range(15):
+        wait_for(sim, stub.push(index))
+    assert wait_for(sim, stub.recent_events(5)) == [10, 11, 12, 13, 14]
+    assert wait_for(sim, stub.consumer_count()) == 0
+
+
+def test_dead_consumer_disconnected_after_failures():
+    sim, client, channel_ior, consumers = plain_setup(consumer_count=2)
+    stub = client.stub(channel_ior)
+    for _c, ior in consumers:
+        wait_for(sim, stub.connect_push_consumer(ior.to_string()))
+    # Kill consumer 0's node; pushes to it now time out.
+    client.net.node("consumer-0").crash()
+    client_orb_timeout = 0.3
+    for orb_node in ("channel",):
+        pass
+    for index in range(3):
+        wait_for(sim, stub.push(("e", index)), timeout=120.0)
+    assert wait_for(sim, stub.consumer_count()) == 1
+    assert len(consumers[1][0].received) == 3
+
+
+def test_channel_state_round_trip():
+    channel = EventChannel()
+    channel.connect_push_consumer("IOR:aa")
+    channel.history.append("x")
+    clone = EventChannel()
+    clone.set_state(channel.get_state())
+    assert clone.consumers == channel.consumers
+    assert clone.history == ["x"]
+    assert clone._next_id == channel._next_id
+
+
+def test_replicated_channel_delivers_once_per_event():
+    system = EternalSystem(["n1", "n2", "n3"]).start()
+    system.stabilize()
+    channel_ior = system.create_replicated(
+        "events", EventChannel, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    consumer = PushConsumer()
+    consumer_ior = system.nodes["n3"].orb.poa.activate(consumer)
+    stub = system.stub("n3", channel_ior)
+    system.call(stub.connect_push_consumer(consumer_ior.to_string()))
+    for index in range(5):
+        system.call(stub.push({"n": index}), timeout=60.0)
+    system.run_for(0.5)
+    # Both channel replicas executed the fan-out, but duplicate
+    # suppression delivered each event to the consumer exactly once.
+    assert consumer.received == [{"n": i} for i in range(5)]
+
+
+def test_fault_notifier_publishes_to_channel():
+    system = EternalSystem(["n1", "n2", "n3", "obs"]).start()
+    system.stabilize()
+    system.enable_fault_management("n1", interval=0.05)
+    channel_ior = system.nodes["n2"].orb.poa.activate(EventChannel())
+    consumer = PushConsumer()
+    consumer_ior = system.nodes["obs"].orb.poa.activate(consumer)
+    stub = system.stub("obs", channel_ior)
+    system.call(stub.connect_push_consumer(consumer_ior.to_string()))
+    system.notifier.attach_channel(system.nodes["n1"].orb, channel_ior)
+    system.run_for(0.5)
+    system.crash("n3")
+    system.run_for(3.0)
+    assert len(consumer.received) == 1
+    assert consumer.received[0]["target"] == "n3"
+    assert consumer.received[0]["kind"] == "CRASH"

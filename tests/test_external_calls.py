@@ -1,0 +1,122 @@
+"""Replicated objects invoking unreplicated external objects.
+
+The outbound counterpart of the gateway: only the group leader performs
+the real interaction with the external object; the result is propagated
+to the peers in total order.
+"""
+
+from repro.core import EternalSystem
+from repro.orb import ORB
+from repro.orb.idl import NestedCall, Servant, operation
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.state.checkpointable import Checkpointable
+from repro.workloads import Counter
+
+
+class Auditor(Servant, Checkpointable):
+    """Replicated servant that reports every action to an external logger."""
+
+    def __init__(self, logger_ior_string=""):
+        self.logger_ior = logger_ior_string
+        self.actions = 0
+
+    @operation()
+    def act(self, what):
+        self.actions += 1
+        ack = yield NestedCall(self.logger_ior, "increment", (1,))
+        return {"actions": self.actions, "logged": ack}
+
+    @operation(read_only=True)
+    def count(self):
+        return self.actions
+
+    def get_state(self):
+        return {"logger": self.logger_ior, "actions": self.actions}
+
+    def set_state(self, state):
+        self.logger_ior = state["logger"]
+        self.actions = state["actions"]
+
+
+def build(seed=0):
+    system = EternalSystem(["n1", "n2", "n3", "app"], seed=seed).start()
+    system.stabilize()
+    # The external logger is an unreplicated object on a plain ORB node.
+    logger_node = system.net.add_node("ext")
+    logger_orb = ORB(system.net, logger_node)
+    logger = Counter()
+    logger_ior = logger_orb.poa.activate(logger)
+    auditor_ior = system.create_replicated(
+        "auditor", lambda: Auditor(logger_ior.to_string()), ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    return system, logger, auditor_ior
+
+
+def test_external_call_performed_once_despite_active_replication():
+    system, logger, auditor_ior = build()
+    stub = system.stub("app", auditor_ior)
+    for expected in range(1, 6):
+        result = system.call(stub.act("deploy"), timeout=60.0)
+        assert result["actions"] == expected
+        assert result["logged"] == expected
+    # Three replicas executed every act(); the external logger was
+    # invoked exactly once per logical operation.
+    assert logger.value == 5
+    states = set(
+        r.servant.actions for r in system.replicas_of("auditor").values()
+    )
+    assert states == {5}
+
+
+def test_all_replicas_resume_with_same_external_result():
+    system, logger, auditor_ior = build()
+    stub = system.stub("app", auditor_ior)
+    system.call(stub.act("x"), timeout=60.0)
+    # Every replica saw the same logged value in its operation flow: their
+    # states are identical (the nested result influenced nothing unequal).
+    states = [r.servant.get_state() for r in system.replicas_of("auditor").values()]
+    assert all(s == states[0] for s in states)
+
+
+def test_leader_crash_reissues_external_call():
+    system, logger, auditor_ior = build(seed=5)
+    stub = system.stub("app", auditor_ior)
+    system.call(stub.act("warm-up"), timeout=60.0)
+    # Slow the external leg down so the leader dies mid-call: crash n1
+    # right after issuing.
+    future = stub.act("risky")
+    system.run_for(0.004)  # the request gets ordered and execution starts
+    system.crash("n1")     # the leader performing the external call
+    system.run_for(15.0)
+    system.stabilize()
+    system.run_for(2.0)
+    if future.done() and future.exception() is None:
+        # The operation completed via the new leader's re-issue; external
+        # target saw it at least once (possibly twice -- documented
+        # at-least-once under leader failover).
+        assert future.result()["actions"] == 2
+        assert logger.value >= 2
+        survivors = set(
+            r.servant.actions for r in system.replicas_of("auditor").values()
+        )
+        assert survivors == {2}
+    else:
+        # Request never ordered before the crash: consistent at 1.
+        assert logger.value >= 1
+
+
+def test_external_call_timeout_propagates_consistently():
+    system, logger, auditor_ior = build(seed=7)
+    system.net.node("ext").crash()
+    stub = system.stub("app", auditor_ior)
+    future = stub.act("to-nowhere")
+    system.run_for(20.0)
+    assert future.done()
+    assert future.exception() is not None
+    # All replicas observed the same failure and rolled forward alike.
+    states = set(
+        r.servant.actions for r in system.replicas_of("auditor").values()
+    )
+    assert len(states) == 1

@@ -1,0 +1,112 @@
+"""Tests for heartbeat fault detection, notification, and recovery."""
+
+from repro.core import EternalSystem
+from repro.faultdetect import FaultNotifier
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import Simulator
+from repro.workloads import Counter
+
+
+def managed_system(spares=("spare",), nodes=("n1", "n2", "n3", "spare"),
+                   interval=0.05, seed=0):
+    system = EternalSystem(list(nodes), seed=seed).start()
+    system.stabilize()
+    system.enable_fault_management(
+        "n1", interval=interval, miss_threshold=2, spares=spares
+    )
+    return system
+
+
+def test_no_false_positives_on_healthy_cluster():
+    system = managed_system()
+    system.run_for(2.0)
+    assert system.detector.suspected() == []
+    assert system.notifier.history == []
+
+
+def test_crash_detected_within_expected_latency():
+    system = managed_system(interval=0.05)
+    system.run_for(0.5)
+    crash_time = system.sim.now
+    system.crash("n3")
+    system.run_for(2.0)
+    assert "n3" in system.detector.suspected()
+    report = system.notifier.history[0]
+    assert report.target == "n3"
+    detection_latency = report.detected_at - crash_time
+    # With interval 0.05 and 2 misses, detection should land within a few
+    # heartbeat periods.
+    assert 0.0 < detection_latency < 0.5
+
+
+def test_detection_latency_scales_with_interval():
+    def latency(interval, seed):
+        system = managed_system(interval=interval, seed=seed)
+        system.run_for(1.0)
+        crash_time = system.sim.now
+        system.crash("n3")
+        system.run_for(30 * interval + 5.0)
+        assert system.notifier.history, "fault not detected"
+        return system.notifier.history[0].detected_at - crash_time
+
+    fast = latency(0.02, seed=1)
+    slow = latency(0.5, seed=1)
+    assert slow > fast
+
+
+def test_notifier_deduplicates_open_faults():
+    sim = Simulator()
+    notifier = FaultNotifier(sim)
+    seen = []
+    notifier.subscribe(seen.append)
+    assert notifier.report("n9", 1.0) is not None
+    assert notifier.report("n9", 2.0) is None
+    assert len(seen) == 1
+    notifier.clear("n9")
+    assert notifier.report("n9", 3.0) is not None
+    assert len(seen) == 2
+
+
+def test_recovery_restores_replication_degree():
+    system = managed_system()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE, min_replicas=3),
+    )
+    system.run_for(0.5)
+    stub = system.stub("n1", ior)
+    system.call(stub.increment(5))
+    system.crash("n3")
+    system.run_for(3.0)  # detection + re-instantiation + state transfer
+    system.stabilize()
+    system.run_for(1.0)
+    # The spare was recruited and initialized with the current state.
+    assert system.coordinator.placements_for("ctr") == ["spare"]
+    replica = system.replicas_of("ctr")["spare"]
+    assert replica.ready
+    assert replica.servant.value == 5
+    # And it participates in new operations.
+    system.call(stub.increment(1))
+    system.run_for(0.5)
+    assert replica.servant.value == 6
+
+
+def test_recovery_skips_groups_still_at_degree():
+    system = managed_system()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE, min_replicas=2),
+    )
+    system.run_for(0.5)
+    system.crash("n3")
+    system.run_for(3.0)
+    # Two replicas remain, which satisfies min_replicas=2: no placement.
+    assert system.coordinator.placements == []
+
+
+def test_monitorable_counts_pings():
+    system = managed_system(interval=0.05)
+    system.run_for(1.0)
+    # All monitored nodes were pinged repeatedly.
+    monitorable = system.nodes["n2"].orb.poa.servant("ft/monitorable")
+    assert monitorable.pings > 10

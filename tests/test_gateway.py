@@ -1,0 +1,96 @@
+"""Tests for the gateway serving unreplicated external clients."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.gateway import Gateway
+from repro.orb import ORB, ApplicationError
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import BankAccount, Counter
+
+
+def gateway_system(style=ReplicationStyle.ACTIVE, seed=0):
+    # n1..n3 host replicas; gw participates in the domain as the gateway;
+    # "outside" is a plain node running only an ORB (no Totem, no engine).
+    system = EternalSystem(["n1", "n2", "n3", "gw"], seed=seed).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"], GroupPolicy(style=style)
+    )
+    system.run_for(0.5)
+    gateway = Gateway(system.engine("gw"))
+    exported = gateway.export(ior)
+    outside_node = system.net.add_node("outside")
+    outside_orb = ORB(system.net, outside_node)
+    return system, gateway, exported, outside_orb
+
+
+def test_external_client_invokes_replicated_object():
+    system, gateway, exported, outside = gateway_system()
+    stub = outside.stub(exported)
+    assert system.call(stub.increment(4)) == 4
+    assert system.call(stub.read()) == 4
+    assert gateway.forwarded == 2
+    assert set(system.states_of("ctr").values()) == {4}
+
+
+def test_external_client_uses_plain_iiop_reference():
+    system, gateway, exported, outside = gateway_system()
+    assert not exported.is_group_reference()
+    # The reference survives stringification like any CORBA IOR.
+    stub = outside.stub(exported.to_string())
+    assert system.call(stub.increment(1)) == 1
+
+
+def test_gateway_with_passive_group():
+    system, gateway, exported, outside = gateway_system(
+        style=ReplicationStyle.WARM_PASSIVE
+    )
+    stub = outside.stub(exported)
+    assert system.call(stub.increment(2)) == 2
+    assert set(system.states_of("ctr").values()) == {2}
+
+
+def test_gateway_survives_replica_crash():
+    system, gateway, exported, outside = gateway_system()
+    stub = outside.stub(exported)
+    system.call(stub.increment(1))
+    system.crash("n2")
+    system.stabilize()
+    assert system.call(stub.increment(1)) == 2
+
+
+def test_gateway_relays_user_exceptions():
+    system = EternalSystem(["n1", "n2", "gw"]).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "acct", lambda: BankAccount("a", 5), ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    gateway = Gateway(system.engine("gw"))
+    exported = gateway.export(ior)
+    outside = ORB(system.net, system.net.add_node("outside"))
+    stub = outside.stub(exported)
+    with pytest.raises(ApplicationError) as excinfo:
+        system.call(stub.withdraw(100))
+    assert excinfo.value.exc_type == "InsufficientFunds"
+
+
+def test_gateway_rejects_non_group_export():
+    system = EternalSystem(["n1", "gw"]).start()
+    system.stabilize()
+    gateway = Gateway(system.engine("gw"))
+    plain = system.nodes["n1"].orb.poa.activate(Counter())
+    with pytest.raises(ValueError):
+        gateway.export(plain)
+
+
+def test_unknown_gateway_key_still_errors():
+    system, gateway, exported, outside = gateway_system()
+    from repro.orb.exceptions import ObjectNotExist
+    from repro.orb.ior import IIOPProfile, IOR
+
+    bogus = IOR("IDL:X:1.0", [IIOPProfile("gw", 683, "gateway:nope")])
+    with pytest.raises(ObjectNotExist):
+        system.call(outside.stub(bogus).read())

@@ -1,0 +1,114 @@
+"""Tests for post-image (incremental) passive state updates."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter, KeyValueStore
+
+
+def image_policy(**overrides):
+    overrides.setdefault("update_mode", "image")
+    return GroupPolicy(style=ReplicationStyle.WARM_PASSIVE, **overrides)
+
+
+def system_up(seed=0):
+    system = EternalSystem(["n1", "n2", "n3", "c"], seed=seed).start()
+    system.stabilize()
+    return system
+
+
+def test_image_updates_keep_backups_current():
+    system = system_up()
+    ior = system.create_replicated(
+        "kv", KeyValueStore, ["n1", "n2", "n3"], image_policy()
+    )
+    system.run_for(0.5)
+    stub = system.stub("c", ior)
+    system.call(stub.put("a", 1))
+    system.call(stub.put("b", [2, 3]))
+    system.call(stub.delete("a"))
+    states = system.states_of("kv")
+    assert states["n1"] == states["n2"] == states["n3"] == {"b": [2, 3]}
+    # Only image updates were pushed, never the full state.
+    assert system.sim.trace.count("ft.state.update.image.sent") == 3
+    assert system.sim.trace.count("ft.state.update.sent") == 0
+
+
+def test_image_updates_are_much_smaller_than_full_state():
+    def bytes_per_update(mode):
+        system = system_up()
+        system.create_replicated(
+            "kv", KeyValueStore, ["n1", "n2"],
+            image_policy(update_mode=mode),
+        )
+        system.run_for(0.5)
+        stub = system.stub("c", system.manager.ior_of("kv"))
+        system.call(stub.preload(300, 64), timeout=120.0)
+        before = system.sim.trace.snapshot()
+        before_bytes = dict(system.sim.trace.byte_counters)
+        for index in range(5):
+            system.call(stub.put("k%d" % index, "v"))
+        sent = (system.sim.trace.byte_counters["net.broadcast"]
+                - before_bytes.get("net.broadcast", 0))
+        return sent
+
+    image_bytes = bytes_per_update("image")
+    full_bytes = bytes_per_update("full")
+    # 300 preloaded entries ride in every full-state push; the image push
+    # carries one key-value pair.
+    assert image_bytes * 5 < full_bytes
+
+
+def test_image_mode_falls_back_without_servant_support():
+    system = system_up()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2"], image_policy()
+    )
+    system.run_for(0.5)
+    stub = system.stub("c", system.manager.ior_of("ctr"))
+    system.call(stub.increment(1))
+    # Counter has no get_update_image: the engine fell back to full state.
+    assert system.sim.trace.count("ft.state.update.sent") == 1
+    assert system.sim.trace.count("ft.state.update.image.sent") == 0
+    assert set(system.states_of("ctr").values()) == {1}
+
+
+def test_failover_after_image_updates():
+    system = system_up()
+    ior = system.create_replicated(
+        "kv", KeyValueStore, ["n1", "n2", "n3"], image_policy()
+    )
+    system.run_for(0.5)
+    stub = system.stub("c", ior)
+    for index in range(6):
+        system.call(stub.put("k%d" % index, index))
+    system.crash("n1")
+    system.stabilize()
+    assert system.call(stub.put("post", "crash"), timeout=60.0) is True
+    states = system.states_of("kv")
+    assert states["n2"] == states["n3"]
+    assert states["n2"]["post"] == "crash"
+    assert all("k%d" % i in states["n2"] for i in range(6))
+
+
+def test_preload_falls_back_to_full_state_in_image_mode():
+    """An operation the servant cannot describe as an image (bulk preload)
+    must push the full state so backups never silently diverge."""
+    system = system_up()
+    ior = system.create_replicated(
+        "kv", KeyValueStore, ["n1", "n2"], image_policy()
+    )
+    system.run_for(0.5)
+    stub = system.stub("c", ior)
+    system.call(stub.put("x", 1))          # image path, consumes the image
+    system.call(stub.preload(20, 8), timeout=60.0)  # no image -> full push
+    states = system.states_of("kv")
+    assert states["n1"] == states["n2"]
+    assert len(states["n2"]) == 21
+    assert system.sim.trace.count("ft.state.update.sent") >= 1
+
+
+def test_update_mode_validation():
+    with pytest.raises(ValueError):
+        GroupPolicy(update_mode="diff")

@@ -1,0 +1,119 @@
+"""Tests for the ReplicationManager management plane."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationManager, ReplicationStyle
+from repro.workloads import Counter
+
+
+def system_with_spare(seed=0):
+    system = EternalSystem(["n1", "n2", "n3", "spare"], seed=seed).start()
+    system.stabilize()
+    return system
+
+
+def test_create_object_hosts_one_replica_per_location():
+    system = system_with_spare()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2"])
+    assert ior.is_group_reference()
+    assert system.manager.locations_of("ctr") == ["n1", "n2"]
+    assert "ctr" in system.engine("n1").replicas
+    assert "ctr" in system.engine("n2").replicas
+    assert "ctr" not in system.engine("n3").replicas
+
+
+def test_each_replica_gets_its_own_servant_instance():
+    system = system_with_spare()
+    system.create_replicated("ctr", Counter, ["n1", "n2"])
+    servant_1 = system.engine("n1").replica("ctr").servant
+    servant_2 = system.engine("n2").replica("ctr").servant
+    assert servant_1 is not servant_2
+
+
+def test_duplicate_group_rejected():
+    system = system_with_spare()
+    system.create_replicated("ctr", Counter, ["n1"])
+    with pytest.raises(ValueError):
+        system.create_replicated("ctr", Counter, ["n2"])
+
+
+def test_add_member_initializes_by_state_transfer():
+    system = system_with_spare()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2"])
+    system.run_for(0.5)
+    stub = system.stub("n3", ior)
+    system.call(stub.increment(9))
+    system.manager.add_member("ctr", "n3")
+    system.run_for(1.0)
+    replica = system.engine("n3").replica("ctr")
+    assert replica.ready
+    assert replica.servant.value == 9
+    assert system.manager.locations_of("ctr") == ["n1", "n2", "n3"]
+
+
+def test_remove_member():
+    system = system_with_spare()
+    system.create_replicated("ctr", Counter, ["n1", "n2"])
+    system.run_for(0.5)
+    system.manager.remove_member("ctr", "n2")
+    system.run_for(0.5)
+    assert system.manager.locations_of("ctr") == ["n1"]
+    assert "ctr" not in system.engine("n2").replicas
+
+
+def test_handle_fault_places_on_spare_only_below_degree():
+    system = system_with_spare()
+    system.manager.register_spare("spare")
+    system.create_replicated(
+        "low", Counter, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE, min_replicas=2),
+    )
+    system.create_replicated(
+        "ok", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE, min_replicas=2),
+    )
+    system.run_for(0.5)
+    system.crash("n2")
+    system.stabilize()
+    placements = system.manager.handle_fault("n2")
+    # "low" dropped to 1 < 2 -> placed; "ok" still has 2 -> untouched.
+    assert placements == [("low", "spare")]
+    assert system.manager.locations_of("low") == ["n1", "spare"]
+    assert system.manager.locations_of("ok") == ["n1", "n3"]
+
+
+def test_handle_fault_without_spare_is_graceful():
+    system = system_with_spare()
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2"],
+        GroupPolicy(min_replicas=2),
+    )
+    system.run_for(0.5)
+    system.crash("n2")
+    system.stabilize()
+    assert system.manager.handle_fault("n2") == []
+
+
+def test_spare_not_reused_for_group_it_already_hosts():
+    system = system_with_spare()
+    system.manager.register_spare("spare")
+    system.create_replicated(
+        "ctr", Counter, ["n1", "spare"],
+        GroupPolicy(min_replicas=2),
+    )
+    system.run_for(0.5)
+    system.crash("n1")
+    system.stabilize()
+    # The only spare already hosts the group: nothing can be placed.
+    assert system.manager.handle_fault("n1") == []
+
+
+def test_registry_validation():
+    manager = ReplicationManager()
+    with pytest.raises(ValueError):
+        manager.register_spare("ghost")
+    with pytest.raises(ValueError):
+        manager.ior_of("ghost-group")
+    with pytest.raises(ValueError):
+        manager.add_member("ghost-group", "n1")

@@ -1,0 +1,121 @@
+"""Tests for the Naming Service, unreplicated and replicated."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.orb import ORB, ApplicationError
+from repro.orb.naming import NamingContext, format_name, parse_name
+from repro.orb.orb_core import wait_for
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet import Network, Simulator
+from repro.workloads import Counter
+
+
+# ----------------------------------------------------------------------
+# Name parsing
+# ----------------------------------------------------------------------
+
+def test_parse_and_format_round_trip():
+    for name in ("a", "a.kind", "a/b", "ctx.dir/obj.service", "x.y/z"):
+        assert format_name(parse_name(name)) == name
+
+
+def test_parse_rejects_malformed_names():
+    for bad in ("", "/", "a/", "/a", "a//b", ".kind"):
+        with pytest.raises(ApplicationError):
+            parse_name(bad)
+
+
+# ----------------------------------------------------------------------
+# Local servant behaviour
+# ----------------------------------------------------------------------
+
+def test_bind_resolve_unbind():
+    naming = NamingContext()
+    naming.bind("counter", "IOR:00")
+    assert naming.resolve("counter") == "IOR:00"
+    naming.unbind("counter")
+    with pytest.raises(ApplicationError):
+        naming.resolve("counter")
+
+
+def test_bind_conflict_and_rebind():
+    naming = NamingContext()
+    naming.bind("x", "IOR:01")
+    with pytest.raises(ApplicationError):
+        naming.bind("x", "IOR:02")
+    naming.rebind("x", "IOR:02")
+    assert naming.resolve("x") == "IOR:02"
+
+
+def test_contexts_and_listing():
+    naming = NamingContext()
+    naming.bind_new_context("apps")
+    naming.bind("apps/counter.service", "IOR:0a")
+    naming.bind("apps/bank.service", "IOR:0b")
+    naming.bind("top", "IOR:0c")
+    assert naming.list_bindings() == [("apps", "context"), ("top", "object")]
+    assert naming.list_bindings("apps") == [
+        ("bank.service", "object"), ("counter.service", "object"),
+    ]
+    with pytest.raises(ApplicationError):
+        naming.bind("missing-ctx/x", "IOR:0d")  # parent does not exist
+    with pytest.raises(ApplicationError):
+        naming.unbind("apps")  # context not empty
+    naming.unbind("apps/counter.service")
+    naming.unbind("apps/bank.service")
+    naming.unbind("apps")
+    assert naming.list_bindings() == [("top", "object")]
+
+
+def test_state_round_trip():
+    naming = NamingContext()
+    naming.bind_new_context("ctx")
+    naming.bind("ctx/obj.kind", "IOR:ff")
+    clone = NamingContext()
+    clone.set_state(naming.get_state())
+    assert clone.resolve("ctx/obj.kind") == "IOR:ff"
+    assert clone.list_bindings("ctx") == [("obj.kind", "object")]
+
+
+# ----------------------------------------------------------------------
+# Over the ORB, unreplicated
+# ----------------------------------------------------------------------
+
+def test_naming_over_orb():
+    sim = Simulator()
+    net = Network(sim)
+    server = ORB(net, net.add_node("ns"))
+    client = ORB(net, net.add_node("client"))
+    ior = server.poa.activate(NamingContext())
+    stub = client.stub(ior)
+    wait_for(sim, stub.bind("service", "IOR:42"))
+    assert wait_for(sim, stub.resolve("service")) == "IOR:42"
+
+
+# ----------------------------------------------------------------------
+# As a replicated object group (the realistic deployment)
+# ----------------------------------------------------------------------
+
+def test_replicated_naming_service_end_to_end():
+    system = EternalSystem(["n1", "n2", "n3"]).start()
+    system.stabilize()
+    naming_ior = system.create_replicated(
+        "naming", NamingContext, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    counter_ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE),
+    )
+    system.run_for(0.5)
+    naming = system.stub("n3", naming_ior)
+    # A server binds its replicated reference; a client bootstraps from it.
+    system.call(naming.bind("counter.service", counter_ior.to_string()))
+    resolved = system.call(naming.resolve("counter.service"))
+    counter = system.stub("n3", resolved)
+    assert system.call(counter.increment(3)) == 3
+    # The naming state is replicated: survive a naming replica crash.
+    system.crash("n1")
+    system.stabilize()
+    assert system.call(naming.resolve("counter.service")) == resolved

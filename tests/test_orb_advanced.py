@@ -1,0 +1,185 @@
+"""Advanced ORB behaviours: IOGR profile failover, LOCATION_FORWARD,
+transport internals, and hierarchical fault detection."""
+
+import pytest
+
+from repro.faultdetect import HierarchicalFaultDetector, PullMonitorable
+from repro.orb import ORB, CommFailure
+from repro.orb.exceptions import ForwardRequest
+from repro.orb.idl import Servant, operation
+from repro.orb.ior import IOR, IIOPProfile
+from repro.orb.orb_core import wait_for
+from repro.simnet import LinkProfile, Network, Simulator
+from repro.workloads import Counter
+
+
+def build(node_ids, profile=None, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, profile=profile)
+    orbs = {node_id: ORB(net, net.add_node(node_id)) for node_id in node_ids}
+    return sim, net, orbs
+
+
+# ----------------------------------------------------------------------
+# IOGR-style multi-profile failover
+# ----------------------------------------------------------------------
+
+def test_multi_profile_reference_fails_over():
+    sim, net, orbs = build(["a", "b", "client"])
+    servant_a = Counter(100)
+    servant_b = Counter(200)
+    ior_a = orbs["a"].poa.activate(servant_a, object_key="ctr")
+    orbs["b"].poa.activate(servant_b, object_key="ctr")
+    iogr = IOR(ior_a.type_id, [
+        IIOPProfile("a", 683, "ctr"),
+        IIOPProfile("b", 683, "ctr"),
+    ])
+    net.node("a").crash()
+    stub = orbs["client"].stub(iogr)
+    # The first profile's host is dead: the request lands at b.
+    assert wait_for(sim, stub.read(), timeout=20.0) == 200
+    assert sim.trace.count("orb.profile.failover") >= 1
+
+
+def test_multi_profile_all_dead_fails():
+    sim, net, orbs = build(["a", "b", "client"])
+    orbs["a"].poa.activate(Counter(), object_key="ctr")
+    iogr = IOR("IDL:Counter:1.0", [
+        IIOPProfile("a", 683, "ctr"),
+        IIOPProfile("b", 683, "nope"),  # b never activated the key
+    ])
+    net.node("a").crash()
+    net.node("b").crash()
+    future = orbs["client"].stub(iogr).read()
+    sim.run_for(15.0)
+    assert future.done()
+    assert future.exception() is not None
+
+
+# ----------------------------------------------------------------------
+# LOCATION_FORWARD
+# ----------------------------------------------------------------------
+
+class Redirector(Servant):
+    """Forwards every call to another reference (CORBA relocation)."""
+
+    def __init__(self, target_ior_string):
+        self.target = target_ior_string
+
+    @operation()
+    def read(self):
+        raise ForwardRequest(self.target)
+
+    @operation()
+    def increment(self, amount=1):
+        raise ForwardRequest(self.target)
+
+
+def test_location_forward_transparent_to_client():
+    sim, net, orbs = build(["old", "new", "client"])
+    real_ior = orbs["new"].poa.activate(Counter(7))
+    orbs["old"].poa.activate(Redirector(real_ior.to_string()), object_key="ctr")
+    old_ior = IOR(real_ior.type_id, [IIOPProfile("old", 683, "ctr")])
+    stub = orbs["client"].stub(old_ior)
+    assert wait_for(sim, stub.read()) == 7
+    assert wait_for(sim, stub.increment(3)) == 10
+    assert sim.trace.count("orb.forwarded") == 2
+
+
+def test_forward_preserves_arguments():
+    sim, net, orbs = build(["old", "new", "client"])
+    real_ior = orbs["new"].poa.activate(Counter(0))
+    orbs["old"].poa.activate(Redirector(real_ior.to_string()), object_key="ctr")
+    old_ior = IOR(real_ior.type_id, [IIOPProfile("old", 683, "ctr")])
+    assert wait_for(sim, orbs["client"].stub(old_ior).increment(42)) == 42
+
+
+# ----------------------------------------------------------------------
+# Transport internals
+# ----------------------------------------------------------------------
+
+def test_transport_retransmits_under_loss():
+    sim, net, orbs = build(["s", "c"], profile=LinkProfile(loss=0.1), seed=3)
+    ior = orbs["s"].poa.activate(Counter())
+    stub = orbs["c"].stub(ior)
+    for expected in range(1, 21):
+        assert wait_for(sim, stub.increment(1), timeout=30.0) == expected
+    assert sim.trace.count("tcp.retransmit") > 0
+
+
+def test_connect_to_nonlistening_port_times_out():
+    sim, net, orbs = build(["s", "c"])
+    errors = []
+    orbs["c"].transport.connect("s", 9999, lambda conn: None, errors.append)
+    sim.run_for(2.0)
+    assert len(errors) == 1
+    assert isinstance(errors[0], CommFailure)
+
+
+def test_orderly_close_notifies_peer_without_error():
+    sim, net, orbs = build(["s", "c"])
+    closed = []
+    accepted = []
+    orbs["s"].transport.listen(7000, accepted.append)
+    conn_holder = []
+
+    def connected(conn):
+        conn.on_close = lambda c, err: closed.append(("client", err))
+        conn_holder.append(conn)
+
+    orbs["c"].transport.connect("s", 7000, connected)
+    sim.run_for(0.5)
+    assert accepted and conn_holder
+    server_conn = accepted[0]
+    server_conn.on_close = lambda c, err: closed.append(("server", err))
+    conn_holder[0].close()
+    sim.run_for(0.5)
+    assert ("server", None) in closed
+
+
+def test_send_before_handshake_is_buffered():
+    sim, net, orbs = build(["s", "c"])
+    received = []
+    orbs["s"].transport.listen(7000, lambda conn: setattr(
+        conn, "on_message", lambda c, data: received.append(bytes(data))
+    ))
+    conn = orbs["c"].transport.connect("s", 7000, lambda c: None)
+    conn.send(b"early")  # handshake not complete yet
+    sim.run_for(0.5)
+    assert received == [b"early"]
+
+
+def test_send_on_closed_connection_raises():
+    sim, net, orbs = build(["s", "c"])
+    orbs["s"].transport.listen(7000, lambda conn: None)
+    conn = orbs["c"].transport.connect("s", 7000, lambda c: None)
+    sim.run_for(0.5)
+    conn.close()
+    with pytest.raises(CommFailure):
+        conn.send(b"late")
+
+
+# ----------------------------------------------------------------------
+# Hierarchical fault detection
+# ----------------------------------------------------------------------
+
+def test_hierarchical_detector_fans_out_host_faults():
+    sim, net, orbs = build(["h1", "h2", "global"])
+    faults = []
+    detector = HierarchicalFaultDetector(
+        orbs["global"], interval=0.05,
+        on_fault=lambda name, when: faults.append(name),
+    )
+    for host in ("h1", "h2"):
+        ior = orbs[host].poa.activate(
+            PullMonitorable(net.node(host)), object_key="ft/monitorable"
+        )
+        detector.monitor_host(host, ior, objects=["svc-a", "svc-b"])
+    detector.start()
+    sim.run_for(1.0)
+    assert faults == []
+    net.node("h2").crash()
+    sim.run_for(2.0)
+    assert detector.suspected_hosts() == ["h2"]
+    # The host fault fans out to the objects registered on it.
+    assert faults == ["h2", "svc-a@h2", "svc-b@h2"]

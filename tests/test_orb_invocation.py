@@ -1,0 +1,191 @@
+"""End-to-end tests of the unreplicated ORB: the paper's baseline path."""
+
+import pytest
+
+from repro.orb import ORB, ApplicationError, CommFailure, TimeoutError_
+from repro.orb.exceptions import BadOperation, ObjectNotExist
+from repro.orb.ior import IOR
+from repro.orb.orb_core import wait_for
+from repro.simnet import Network, Simulator
+from repro.workloads import BankAccount, Counter, EchoServer, KeyValueStore
+
+
+def make_pair(seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    server_node = net.add_node("server")
+    client_node = net.add_node("client")
+    server_orb = ORB(net, server_node)
+    client_orb = ORB(net, client_node)
+    return sim, net, server_orb, client_orb
+
+
+def test_basic_invocation():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    stub = client.stub(ior)
+    assert wait_for(sim, stub.increment(5)) == 5
+    assert wait_for(sim, stub.increment(2)) == 7
+    assert wait_for(sim, stub.read()) == 7
+
+
+def test_invocation_via_stringified_ior():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    stub = client.stub(ior.to_string())
+    assert wait_for(sim, stub.increment(1)) == 1
+
+
+def test_concurrent_requests_from_one_client():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(EchoServer())
+    stub = client.stub(ior)
+    futures = [stub.echo("msg-%d" % i) for i in range(20)]
+    sim.run_for(2.0)
+    assert [f.result() for f in futures] == ["msg-%d" % i for i in range(20)]
+
+
+def test_two_clients_one_server():
+    sim = Simulator()
+    net = Network(sim)
+    server_orb = ORB(net, net.add_node("server"))
+    client_a = ORB(net, net.add_node("ca"))
+    client_b = ORB(net, net.add_node("cb"))
+    ior = server_orb.poa.activate(Counter())
+    future_a = client_a.stub(ior).increment(1)
+    future_b = client_b.stub(ior).increment(1)
+    sim.run_for(2.0)
+    assert sorted([future_a.result(), future_b.result()]) == [1, 2]
+
+
+def test_user_exception_propagates():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(BankAccount("alice", balance=10))
+    stub = client.stub(ior)
+    with pytest.raises(ApplicationError) as excinfo:
+        wait_for(sim, stub.withdraw(100))
+    assert excinfo.value.exc_type == "InsufficientFunds"
+    # State unchanged after the failed withdrawal.
+    assert wait_for(sim, stub.get_balance()) == 10
+
+
+def test_unknown_object_key_raises_object_not_exist():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    server.poa.deactivate(ior.iiop_profiles()[0].object_key)
+    with pytest.raises(ObjectNotExist):
+        wait_for(sim, client.stub(ior).read())
+
+
+def test_unknown_operation_raises_bad_operation():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    with pytest.raises(BadOperation):
+        wait_for(sim, client.stub(ior).no_such_operation())
+
+
+def test_oneway_with_interface_resolves_immediately():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    stub = client.stub(ior, interface=Counter)
+    future = stub.poke()
+    assert future.done()
+    assert future.result() is None
+    sim.run_for(1.0)
+    assert wait_for(sim, stub.read()) == 1
+
+
+def test_nested_invocation_between_servants():
+    sim, net, server, client = make_pair()
+    alice_ior = server.poa.activate(BankAccount("alice", balance=100))
+    bob_ior = server.poa.activate(BankAccount("bob", balance=0))
+    stub = client.stub(alice_ior)
+    result = wait_for(sim, stub.transfer(bob_ior.to_string(), 30))
+    assert result == 30  # bob's new balance
+    assert wait_for(sim, client.stub(bob_ior).get_balance()) == 30
+    assert wait_for(sim, stub.get_balance()) == 70
+
+
+def test_nested_invocation_across_orbs():
+    sim = Simulator()
+    net = Network(sim)
+    orb_a = ORB(net, net.add_node("a"))
+    orb_b = ORB(net, net.add_node("b"))
+    client = ORB(net, net.add_node("c"))
+    alice_ior = orb_a.poa.activate(BankAccount("alice", balance=50))
+    bob_ior = orb_b.poa.activate(BankAccount("bob", balance=5))
+    result = wait_for(sim, client.stub(alice_ior).transfer(bob_ior.to_string(), 20))
+    assert result == 25
+    assert wait_for(sim, client.stub(alice_ior).get_balance()) == 30
+
+
+def test_request_to_crashed_server_times_out_with_comm_failure():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    net.node("server").crash()
+    future = client.stub(ior).increment(1)
+    sim.run_for(15.0)
+    assert future.done()
+    assert isinstance(future.exception(), (CommFailure, TimeoutError_))
+
+
+def test_server_crash_mid_request_fails_pending():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    stub = client.stub(ior)
+    wait_for(sim, stub.increment(1))  # establish the connection
+    net.node("server").crash()
+    future = stub.increment(1)
+    sim.run_for(15.0)
+    assert future.done()
+    assert isinstance(future.exception(), (CommFailure, TimeoutError_))
+
+
+def test_request_timeout_configurable():
+    sim, net, server, client = make_pair()
+    client.request_timeout = 0.5
+    ior = server.poa.activate(Counter())
+    net.node("server").crash()
+    future = client.stub(ior).read()
+    sim.run_for(1.0)
+    assert future.done()
+    assert isinstance(future.exception(), (CommFailure, TimeoutError_))
+
+
+def test_locate_request():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(Counter())
+    status = wait_for(sim, client.locate(ior))
+    assert status == 1  # OBJECT_HERE
+    fake = IOR(ior.type_id, [ior.iiop_profiles()[0]])
+    server.poa.deactivate(ior.iiop_profiles()[0].object_key)
+    status = wait_for(sim, client.locate(fake))
+    assert status == 0  # UNKNOWN_OBJECT
+
+
+def test_kv_store_workload():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(KeyValueStore())
+    stub = client.stub(ior)
+    wait_for(sim, stub.put("k1", "v1"))
+    wait_for(sim, stub.put("k2", {"nested": [1, 2]}))
+    assert wait_for(sim, stub.get("k2")) == {"nested": [1, 2]}
+    assert wait_for(sim, stub.size()) == 2
+    assert wait_for(sim, stub.delete("k1")) is True
+    with pytest.raises(ApplicationError):
+        wait_for(sim, stub.get("k1"))
+
+
+def test_invocation_latency_reflects_payload_size():
+    sim, net, server, client = make_pair()
+    ior = server.poa.activate(EchoServer())
+    stub = client.stub(ior)
+
+    def timed(payload):
+        start = sim.now
+        wait_for(sim, stub.echo(payload))
+        return sim.now - start
+
+    small = timed("x")
+    large = timed("x" * 100_000)
+    assert large > small

@@ -1,0 +1,180 @@
+"""Tests for CDR marshaling, GIOP encoding, and IOR stringification."""
+
+import pytest
+
+from repro.orb import (
+    IOR,
+    FTGroupProfile,
+    IIOPProfile,
+    InvObjref,
+    MarshalError,
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+from repro.orb.giop import (
+    CancelRequestMessage,
+    CloseConnectionMessage,
+    LocateReplyMessage,
+    LocateRequestMessage,
+)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 62,
+        -(2 ** 62),
+        2 ** 100,          # big int path
+        -(2 ** 100),
+        3.14159,
+        float("inf"),
+        "",
+        "hello",
+        "unicode: é中文",
+        b"",
+        b"\x00\x01\xff",
+        [],
+        [1, "two", 3.0, None],
+        (),
+        (1, (2, (3,))),
+        {},
+        {"a": 1, "b": [True, None]},
+        frozenset({1, 2, 3}),
+        {"nested": {"deep": [{"x": (1, 2)}]}},
+    ],
+)
+def test_cdr_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_cdr_preserves_list_tuple_distinction():
+    assert decode_value(encode_value([1, 2])) == [1, 2]
+    assert isinstance(decode_value(encode_value((1, 2))), tuple)
+    assert isinstance(decode_value(encode_value([1, 2])), list)
+
+
+def test_cdr_deterministic_dict_order():
+    a = encode_value({"x": 1, "y": 2})
+    b = encode_value({"y": 2, "x": 1})
+    assert a == b
+
+
+def test_cdr_rejects_non_string_dict_keys():
+    with pytest.raises(MarshalError):
+        encode_value({1: "x"})
+
+
+def test_cdr_rejects_unknown_types():
+    with pytest.raises(MarshalError):
+        encode_value(object())
+
+
+def test_cdr_rejects_trailing_bytes():
+    data = encode_value(1) + b"\x00"
+    with pytest.raises(MarshalError):
+        decode_value(data)
+
+
+def test_cdr_rejects_truncated_stream():
+    data = encode_value("hello")[:-2]
+    with pytest.raises(MarshalError):
+        decode_value(data)
+
+
+def test_giop_request_round_trip():
+    request = RequestMessage(
+        7, "POA/Counter/1", "increment", encode_value((5,)),
+        response_expected=True,
+        service_context={"FT_REQUEST": (1, 2, 3)},
+    )
+    decoded = decode_message(encode_message(request))
+    assert isinstance(decoded, RequestMessage)
+    assert decoded.request_id == 7
+    assert decoded.object_key == "POA/Counter/1"
+    assert decoded.operation == "increment"
+    assert decoded.response_expected is True
+    assert decoded.service_context == {"FT_REQUEST": (1, 2, 3)}
+    assert decode_value(decoded.body) == (5,)
+
+
+def test_giop_oneway_request_round_trip():
+    request = RequestMessage(1, "k", "notify", encode_value(()), response_expected=False)
+    decoded = decode_message(encode_message(request))
+    assert decoded.response_expected is False
+
+
+def test_giop_reply_round_trip():
+    reply = ReplyMessage(9, ReplyStatus.USER_EXCEPTION, encode_value(("E", "boom")))
+    decoded = decode_message(encode_message(reply))
+    assert isinstance(decoded, ReplyMessage)
+    assert decoded.request_id == 9
+    assert decoded.status == ReplyStatus.USER_EXCEPTION
+    assert decode_value(decoded.body) == ("E", "boom")
+
+
+def test_giop_other_messages_round_trip():
+    for message, cls in [
+        (CancelRequestMessage(4), CancelRequestMessage),
+        (LocateRequestMessage(5, "key"), LocateRequestMessage),
+        (LocateReplyMessage(5, LocateReplyMessage.OBJECT_HERE), LocateReplyMessage),
+        (CloseConnectionMessage(), CloseConnectionMessage),
+    ]:
+        decoded = decode_message(encode_message(message))
+        assert isinstance(decoded, cls)
+
+
+def test_giop_rejects_bad_magic():
+    data = bytearray(encode_message(CloseConnectionMessage()))
+    data[0:4] = b"XXXX"
+    with pytest.raises(MarshalError):
+        decode_message(bytes(data))
+
+
+def test_giop_rejects_size_mismatch():
+    data = encode_message(CancelRequestMessage(1)) + b"\x00"
+    with pytest.raises(MarshalError):
+        decode_message(data)
+
+
+def test_ior_round_trip_iiop():
+    ior = IOR("IDL:Counter:1.0", [IIOPProfile("n1", 683, "POA/Counter/1")])
+    text = ior.to_string()
+    assert text.startswith("IOR:")
+    parsed = IOR.from_string(text)
+    assert parsed == ior
+    assert parsed.iiop_profiles()[0].object_key == "POA/Counter/1"
+    assert not parsed.is_group_reference()
+
+
+def test_ior_round_trip_group():
+    ior = IOR(
+        "IDL:Counter:1.0",
+        [FTGroupProfile("domainA", "counter-group", 3),
+         IIOPProfile("n1", 683, "k")],
+    )
+    parsed = IOR.from_string(ior.to_string())
+    group = parsed.group_profile()
+    assert group is not None
+    assert group.group_name == "counter-group"
+    assert group.version == 3
+    assert parsed.is_group_reference()
+    assert len(parsed.iiop_profiles()) == 1
+
+
+def test_ior_rejects_garbage():
+    with pytest.raises(InvObjref):
+        IOR.from_string("not-an-ior")
+    with pytest.raises(InvObjref):
+        IOR.from_string("IOR:zzzz")
+    with pytest.raises(InvObjref):
+        IOR("IDL:X:1.0", [])

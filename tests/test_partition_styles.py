@@ -1,0 +1,84 @@
+"""Partition/remerge behaviour for the passive and semi-active styles.
+
+The main partition suite exercises active replication; these tests close
+the matrix: each component of a partitioned passive group elects its own
+primary and keeps serving, and remerge reconciles with fulfillment
+operations regardless of style.
+"""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Inventory
+
+STYLES = [
+    ReplicationStyle.WARM_PASSIVE,
+    ReplicationStyle.SEMI_ACTIVE,
+]
+
+
+def partitioned(style, seed=0):
+    system = EternalSystem(["n1", "n2", "n3", "n4"], seed=seed).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "inv", lambda: Inventory(stock=10), ["n1", "n2", "n3", "n4"],
+        GroupPolicy(style=style, checkpoint_interval_ops=2),
+    )
+    system.run_for(0.5)
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    return system, ior
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_each_component_elects_its_own_primary(style):
+    system, ior = partitioned(style)
+    replicas = system.replicas_of("inv")
+    assert replicas["n1"].is_primary      # left component's minimum
+    assert replicas["n3"].is_primary      # right component's minimum
+    assert not replicas["n2"].is_primary
+    assert not replicas["n4"].is_primary
+
+
+@pytest.mark.parametrize("style", STYLES)
+def test_both_components_serve_and_remerge_reconciles(style):
+    system, ior = partitioned(style)
+    left = system.stub("n2", ior)
+    right = system.stub("n4", ior)
+    assert system.call(left.sell("L1"), timeout=60.0)["status"] == "shipped"
+    assert system.call(right.sell("R1"), timeout=60.0)["status"] == "shipped"
+    assert system.call(right.sell("R2"), timeout=60.0)["status"] == "shipped"
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    states = system.states_of("inv")
+    # The merged group converged on one state containing every sale.
+    reference = states["n1"]
+    assert sorted(reference["shipping_orders"]) == ["L1", "R1", "R2"]
+    assert reference["stock"] == 7
+    for node, state in states.items():
+        if style == ReplicationStyle.SEMI_ACTIVE:
+            assert state == reference, node
+    # (Warm-passive backups converge as the post-merge updates flow; the
+    # primary is authoritative.)
+    assert system.call(left.sell("after"), timeout=60.0)["status"] == "shipped"
+
+
+def test_warm_passive_backups_converge_after_merge_traffic():
+    system, ior = partitioned(ReplicationStyle.WARM_PASSIVE, seed=3)
+    right = system.stub("n4", ior)
+    system.call(right.sell("R1"), timeout=60.0)
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    # Push one more update through the merged primary: its state update
+    # brings every backup to the authoritative post-merge state.
+    system.call(system.stub("n2", ior).sell("X"), timeout=60.0)
+    system.run_for(1.0)
+    states = system.states_of("inv")
+    assert len(set(
+        tuple(sorted(s["shipping_orders"])) for s in states.values()
+    )) == 1
+    assert sorted(states["n3"]["shipping_orders"]) == ["R1", "X"]

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.orb.cdr import decode_value, encode_value
+from repro.replication import DuplicateTables, OperationIdAllocator
+from repro.state import IncrementalAssembler, IncrementalTransfer, MessageLog
+from repro.totem import TotemCluster
+
+# ----------------------------------------------------------------------
+# CDR round-trip over arbitrary marshalable values
+# ----------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 127), max_value=2 ** 127),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@given(values)
+@settings(max_examples=200)
+def test_cdr_round_trip_property(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(values, values)
+@settings(max_examples=100)
+def test_cdr_encoding_is_deterministic(a, b):
+    assert encode_value(a) == encode_value(a)
+    if encode_value(a) == encode_value(b):
+        assert a == b  # encoding is injective on marshalable values
+
+
+# ----------------------------------------------------------------------
+# Totem: total order under arbitrary interleaved send schedules
+# ----------------------------------------------------------------------
+
+send_schedules = st.lists(
+    st.tuples(st.sampled_from(["n1", "n2", "n3"]), st.integers(0, 999)),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(send_schedules)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_totem_total_order_property(schedule):
+    cluster = TotemCluster(["n1", "n2", "n3"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    for sender, payload in schedule:
+        cluster.processors[sender].send((sender, payload))
+    cluster.sim.run_for(2.0)
+    sequences = {
+        node: [
+            d.payload for d in cluster.deliveries[node]
+            if not (isinstance(d.payload, tuple) and d.payload
+                    and d.payload[0] == "announce")
+        ]
+        for node in ("n1", "n2", "n3")
+    }
+    assert sequences["n1"] == sequences["n2"] == sequences["n3"]
+    assert len(sequences["n1"]) == len(schedule)
+    # Per-sender FIFO: each sender's messages appear in send order.
+    for sender in ("n1", "n2", "n3"):
+        sent = [(s, p) for s, p in schedule if s == sender]
+        delivered = [m for m in sequences["n1"] if m[0] == sender]
+        assert delivered == sent
+
+
+# ----------------------------------------------------------------------
+# Duplicate tables: capture/restore is lossless
+# ----------------------------------------------------------------------
+
+op_ids = st.tuples(
+    st.sampled_from(["c", "n", "f"]),
+    st.text(min_size=1, max_size=8),
+    st.integers(0, 1000),
+)
+
+
+@given(
+    st.lists(st.tuples(op_ids, st.sampled_from(["executing", "completed"])),
+             max_size=20, unique_by=lambda pair: pair[0]),
+    st.lists(op_ids, max_size=10),
+)
+@settings(max_examples=100)
+def test_duplicate_tables_round_trip_property(statuses, replies_seen):
+    tables = DuplicateTables()
+    for op, status in statuses:
+        tables.note_executing(op)
+        if status == "completed":
+            tables.note_completed(op, b"r")
+    for op in replies_seen:
+        tables.note_reply_seen(op)
+    snapshot = decode_value(encode_value(tables.capture()))
+    restored = DuplicateTables.restore(snapshot)
+    assert restored.request_status == tables.request_status
+    assert restored.reply_cache == tables.reply_cache
+    assert restored.replies_seen == tables.replies_seen
+
+
+# ----------------------------------------------------------------------
+# Operation id allocation: unique and replica-deterministic
+# ----------------------------------------------------------------------
+
+@given(st.integers(1, 200), st.text(min_size=1, max_size=10))
+@settings(max_examples=50)
+def test_operation_ids_unique_property(count, group):
+    alloc = OperationIdAllocator(group)
+    ids = [alloc.next_top_level() for _ in range(count)]
+    assert len(set(ids)) == count
+
+
+# ----------------------------------------------------------------------
+# Message log: positions monotone, checkpoint resets cleanly
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.booleans(), max_size=60))
+@settings(max_examples=100)
+def test_message_log_positions_property(ops):
+    """True entries append a record; False entries checkpoint."""
+    log = MessageLog()
+    appended = 0
+    for is_append in ops:
+        if is_append:
+            appended += 1
+            position = log.append(("c", "g", appended), "op", ())
+            assert position == appended
+        else:
+            log.checkpoint({"n": appended})
+            assert log.length == 0
+            assert log.checkpoint_position == appended
+    positions = [r.position for r in log.replay_records()]
+    assert positions == sorted(positions)
+    assert all(p > log.checkpoint_position for p in positions)
+
+
+# ----------------------------------------------------------------------
+# Incremental transfer: any chunk size reassembles exactly
+# ----------------------------------------------------------------------
+
+@given(
+    st.dictionaries(st.text(min_size=1, max_size=8),
+                    st.text(max_size=64), max_size=30),
+    st.integers(1, 4096),
+)
+@settings(max_examples=100)
+def test_incremental_transfer_reassembly_property(state, chunk_size):
+    transfer = IncrementalTransfer(state, chunk_size=chunk_size)
+    assembler = IncrementalAssembler()
+    for chunk in transfer.chunks():
+        assembler.add_chunk(*chunk)
+    assert assembler.complete()
+    assert assembler.assemble() == state

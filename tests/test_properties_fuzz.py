@@ -1,0 +1,122 @@
+"""Fuzz and schedule-randomization properties (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.orb.cdr import decode_value, encode_value
+from repro.orb.exceptions import MarshalError, SystemException
+from repro.orb.giop import decode_message, encode_message, RequestMessage
+from repro.orb.ior import IOR
+from repro.orb.naming import format_name, parse_name
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter
+
+
+# ----------------------------------------------------------------------
+# Decoder fuzzing: hostile bytes must raise MarshalError, never crash
+# ----------------------------------------------------------------------
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300)
+def test_cdr_decoder_never_crashes(data):
+    try:
+        decode_value(data)
+    except MarshalError:
+        pass
+    except (UnicodeDecodeError, OverflowError, MemoryError):
+        pytest.fail("decoder leaked a non-Marshal exception")
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300)
+def test_giop_decoder_never_crashes(data):
+    try:
+        decode_message(data)
+    except MarshalError:
+        pass
+
+
+@given(st.binary(min_size=1, max_size=100))
+@settings(max_examples=200)
+def test_corrupted_valid_message_rejected_or_decoded(corruption):
+    """Splicing bytes into a valid message must never escape MarshalError."""
+    valid = encode_message(
+        RequestMessage(1, "key", "op", encode_value((1, 2)), True, {})
+    )
+    position = len(corruption) % max(1, len(valid))
+    corrupted = valid[:position] + corruption + valid[position:]
+    try:
+        decode_message(corrupted)
+    except MarshalError:
+        pass
+    except (UnicodeDecodeError, OverflowError):
+        pytest.fail("decoder leaked a non-Marshal exception")
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=300)
+def test_ior_parser_never_crashes(text):
+    try:
+        IOR.from_string(text)
+    except SystemException:
+        pass  # InvObjref / MarshalError are the contract
+
+
+# ----------------------------------------------------------------------
+# Naming round-trip over generated names
+# ----------------------------------------------------------------------
+
+name_component = st.from_regex(r"[A-Za-z0-9_-]{1,8}", fullmatch=True)
+name_strategy = st.lists(
+    st.tuples(name_component, st.one_of(st.just(""), name_component)),
+    min_size=1, max_size=4,
+)
+
+
+@given(name_strategy)
+@settings(max_examples=200)
+def test_naming_format_parse_round_trip(components):
+    text = format_name(components)
+    assert parse_name(text) == tuple(components)
+
+
+# ----------------------------------------------------------------------
+# Crash-schedule randomization: replicas that survive stay consistent
+# ----------------------------------------------------------------------
+
+crash_schedules = st.lists(
+    st.tuples(
+        st.sampled_from(["n2", "n3"]),      # never crash n1: keep a survivor
+        st.integers(0, 9),                  # after which operation
+    ),
+    max_size=2,
+    unique_by=lambda pair: pair[0],
+)
+
+
+@given(crash_schedules, st.integers(0, 2 ** 16))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_survivors_consistent_under_random_crash_schedule(schedule, seed):
+    system = EternalSystem(["n1", "n2", "n3", "c"], seed=seed).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    stub = system.stub("c", ior)
+    crash_at = {op: node for node, op in schedule}
+    completed = 0
+    for index in range(10):
+        if index in crash_at:
+            system.crash(crash_at[index])
+        result = system.call(stub.increment(1), timeout=60.0)
+        completed += 1
+        assert result == completed
+    system.stabilize()
+    system.run_for(1.0)
+    states = set(system.states_of("ctr").values())
+    assert states == {completed}

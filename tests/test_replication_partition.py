@@ -1,0 +1,120 @@
+"""Partitioned operation and remerge reconciliation (fulfillment ops)."""
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.workloads import Counter, Inventory
+
+
+def partitioned_system(seed=0, style=ReplicationStyle.ACTIVE):
+    system = EternalSystem(["n1", "n2", "n3", "n4"], seed=seed).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "inv", lambda: Inventory(stock=10), ["n1", "n2", "n3", "n4"],
+        GroupPolicy(style=style),
+    )
+    system.run_for(0.5)
+    return system, ior
+
+
+def test_both_components_continue_serving():
+    system, ior = partitioned_system()
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    left = system.stub("n1", ior)
+    right = system.stub("n3", ior)
+    assert system.call(left.sell("L1"), timeout=60.0)["status"] == "shipped"
+    assert system.call(right.sell("R1"), timeout=60.0)["status"] == "shipped"
+    # Divergence is real: each component applied only its own sale.
+    assert system.replicas_of("inv")["n1"].servant.stock == 9
+    assert system.replicas_of("inv")["n3"].servant.stock == 9
+
+
+def test_remerge_reconciles_with_fulfillment_operations():
+    system, ior = partitioned_system()
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    left = system.stub("n1", ior)
+    right = system.stub("n3", ior)
+    for i in range(2):
+        system.call(left.sell("L%d" % i), timeout=60.0)
+    for i in range(3):
+        system.call(right.sell("R%d" % i), timeout=60.0)
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    # All five sales must be reflected in the merged state: the primary
+    # component's two directly, the secondary's three via fulfillment.
+    states = system.states_of("inv")
+    stocks = {node: s["stock"] for node, s in states.items()}
+    assert set(stocks.values()) == {5}, stocks
+    shipped = {node: sorted(s["shipping_orders"]) for node, s in states.items()}
+    reference = shipped["n1"]
+    assert sorted(reference) == ["L0", "L1", "R0", "R1", "R2"]
+    assert all(orders == reference for orders in shipped.values())
+
+
+def test_fulfillment_handles_application_conflict():
+    """Oversell across the partition: the merged state must reflect the
+    back-order path of the fulfillment operation, not silent loss."""
+    system = EternalSystem(["n1", "n2", "n3", "n4"]).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "inv", lambda: Inventory(stock=1), ["n1", "n2", "n3", "n4"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    # Both components sell the last car.
+    assert system.call(system.stub("n1", ior).sell("L"), timeout=60.0)["status"] == "shipped"
+    assert system.call(system.stub("n3", ior).sell("R"), timeout=60.0)["status"] == "shipped"
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    states = system.states_of("inv")
+    for state in states.values():
+        assert state["stock"] == 0
+        assert state["shipping_orders"] == ["L"]
+        # The secondary component's sale became a back order at remerge.
+        assert state["back_orders"] == ["R"]
+
+
+def test_merged_group_consistent_and_serving_afterwards():
+    system, ior = partitioned_system(seed=7)
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    system.call(system.stub("n3", ior).sell("X"), timeout=60.0)
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    result = system.call(system.stub("n4", ior).sell("Y"), timeout=60.0)
+    assert result["status"] == "shipped"
+    states = system.states_of("inv")
+    assert set(s["stock"] for s in states.values()) == {8}
+    for s in states.values():
+        assert sorted(s["shipping_orders"]) == ["X", "Y"]
+
+
+def test_counter_partition_merge_preserves_all_increments():
+    system = EternalSystem(["n1", "n2", "n3", "n4"]).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3", "n4"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    system.partition([("n1", "n2"), ("n3", "n4")])
+    system.stabilize(timeout=10.0)
+    system.run_for(0.5)
+    for _ in range(3):
+        system.call(system.stub("n1", ior).increment(1), timeout=60.0)
+    for _ in range(4):
+        system.call(system.stub("n3", ior).increment(1), timeout=60.0)
+    system.merge()
+    system.stabilize(timeout=10.0)
+    system.run_for(3.0)
+    assert set(system.states_of("ctr").values()) == {7}

@@ -1,0 +1,198 @@
+"""Unit tests for replication building blocks: identifiers, tables, styles,
+election, and partition decision logic."""
+
+import pytest
+
+from repro.partition import (
+    FulfillmentPlan,
+    derive_side_representative,
+    divergent_operations,
+    should_adopt_capture,
+)
+from repro.replication import (
+    DuplicateTables,
+    ExecutionContext,
+    GroupPolicy,
+    InvocationId,
+    OperationIdAllocator,
+    ReplicationStyle,
+    choose_primary,
+    choose_state_sponsor,
+    fulfillment_operation_id,
+    is_primary,
+    nested_operation_id,
+    top_level_operation_id,
+)
+
+
+# ----------------------------------------------------------------------
+# Identifiers
+# ----------------------------------------------------------------------
+
+def test_top_level_ids_unique_and_deterministic():
+    alloc_a = OperationIdAllocator("client/x")
+    alloc_b = OperationIdAllocator("client/x")
+    ids_a = [alloc_a.next_top_level() for _ in range(5)]
+    ids_b = [alloc_b.next_top_level() for _ in range(5)]
+    assert ids_a == ids_b  # replicated clients derive identical ids
+    assert len(set(ids_a)) == 5
+    assert alloc_a.issued == 5
+
+
+def test_ids_differ_across_client_groups():
+    a = OperationIdAllocator("client/x").next_top_level()
+    b = OperationIdAllocator("client/y").next_top_level()
+    assert a != b
+
+
+def test_nested_ids_chain_from_parents():
+    parent = top_level_operation_id("g", 1)
+    ctx = ExecutionContext(parent, "server-group")
+    first = ctx.next_nested_id()
+    second = ctx.next_nested_id()
+    assert first == nested_operation_id(parent, 1)
+    assert second == nested_operation_id(parent, 2)
+    assert first != second
+    # A nested op of a nested op is distinct from its ancestors.
+    grandchild = ExecutionContext(first, "x").next_nested_id()
+    assert grandchild not in (parent, first, second)
+
+
+def test_fulfillment_ids_distinct_from_originals():
+    original = top_level_operation_id("g", 3)
+    fulfillment = fulfillment_operation_id(original, 0)
+    assert fulfillment != original
+    assert fulfillment[0] == "f"
+
+
+def test_invocation_id_round_trip():
+    inv = InvocationId(top_level_operation_id("g", 1), "n1", attempt=2)
+    restored = InvocationId.from_value(inv.as_value())
+    assert restored == inv
+    assert hash(restored) == hash(inv)
+
+
+# ----------------------------------------------------------------------
+# Duplicate tables
+# ----------------------------------------------------------------------
+
+def test_duplicate_tables_lifecycle():
+    tables = DuplicateTables()
+    op = top_level_operation_id("g", 1)
+    assert tables.is_new_request(op)
+    tables.note_executing(op)
+    assert tables.status(op) == "executing"
+    tables.note_completed(op, b"reply-bytes")
+    assert tables.status(op) == "completed"
+    assert tables.cached_reply(op) == b"reply-bytes"
+    assert tables.completed_operation_ids() == {op}
+
+
+def test_duplicate_tables_reply_side():
+    tables = DuplicateTables()
+    op = top_level_operation_id("g", 2)
+    assert not tables.reply_already_seen(op)
+    tables.note_reply_seen(op)
+    assert tables.reply_already_seen(op)
+    tables.note_suppressed_reply()
+    tables.note_suppressed_request()
+    assert tables.suppressed_replies == 1
+    assert tables.suppressed_requests == 1
+
+
+def test_duplicate_tables_capture_restore_round_trip():
+    tables = DuplicateTables()
+    op1 = top_level_operation_id("g", 1)
+    op2 = nested_operation_id(op1, 1)
+    tables.note_executing(op1)
+    tables.note_completed(op1, b"r1")
+    tables.note_executing(op2)
+    tables.note_reply_seen(op1)
+    snapshot = tables.capture()
+    # The snapshot must survive CDR marshaling (it travels in captures).
+    from repro.orb.cdr import decode_value, encode_value
+
+    snapshot = decode_value(encode_value(snapshot))
+    restored = DuplicateTables.restore(snapshot)
+    assert restored.status(op1) == "completed"
+    assert restored.status(op2) == "executing"
+    assert restored.cached_reply(op1) == b"r1"
+    assert restored.reply_already_seen(op1)
+
+
+# ----------------------------------------------------------------------
+# Styles and election
+# ----------------------------------------------------------------------
+
+def test_replication_style_validation():
+    with pytest.raises(ValueError):
+        ReplicationStyle.validate("tripled")
+    assert ReplicationStyle.executes_everywhere(ReplicationStyle.ACTIVE)
+    assert ReplicationStyle.executes_everywhere(ReplicationStyle.SEMI_ACTIVE)
+    assert not ReplicationStyle.executes_everywhere(ReplicationStyle.WARM_PASSIVE)
+    assert ReplicationStyle.is_passive(ReplicationStyle.COLD_PASSIVE)
+    assert not ReplicationStyle.is_passive(ReplicationStyle.ACTIVE)
+
+
+def test_group_policy_validation_and_copy():
+    with pytest.raises(ValueError):
+        GroupPolicy(state_transfer="osmosis")
+    with pytest.raises(ValueError):
+        GroupPolicy(dispatch_policy="fibers")
+    policy = GroupPolicy(style=ReplicationStyle.ACTIVE, min_replicas=5)
+    clone = policy.copy(style=ReplicationStyle.WARM_PASSIVE)
+    assert clone.style == ReplicationStyle.WARM_PASSIVE
+    assert clone.min_replicas == 5
+    assert policy.style == ReplicationStyle.ACTIVE
+
+
+def test_primary_election():
+    assert choose_primary(["n3", "n1", "n2"]) == "n1"
+    assert choose_primary([]) is None
+    assert is_primary("n1", ["n1", "n2"])
+    assert not is_primary("n2", ["n1", "n2"])
+
+
+def test_state_sponsor_must_survive():
+    assert choose_state_sponsor(["n1", "n2"], ["n2", "n3"]) == "n2"
+    assert choose_state_sponsor([], ["n1"]) is None
+
+
+# ----------------------------------------------------------------------
+# Partition decision logic
+# ----------------------------------------------------------------------
+
+def test_side_representative_from_transitional():
+    assert derive_side_representative(
+        ["n1", "n2", "n3", "n4"], ["n3", "n4"], "n4"
+    ) == "n3"
+    # A replica alone in its component is its own representative.
+    assert derive_side_representative(["n1", "n2"], [], "n2") == "n2"
+
+
+def test_adopt_decision():
+    assert should_adopt_capture("n1", "n3", "n4") is True
+    assert should_adopt_capture("n3", "n3", "n4") is False
+    assert should_adopt_capture("n5", "n3", "n4") is False
+    assert should_adopt_capture("n4", "n3", "n4") is False  # own capture
+    assert should_adopt_capture("n1", None, "n4") is True
+
+
+def test_divergent_operations_diff():
+    op1 = top_level_operation_id("g", 1)
+    op2 = top_level_operation_id("g", 2)
+    op3 = fulfillment_operation_id(op1, 0)
+    completed_order = [op1, op2, op3]
+    journal = {op1: (b"req1", "cg"), op2: (b"req2", "cg"), op3: (b"req3", "cg")}
+    their_completed = {op1}
+    divergent = divergent_operations(completed_order, journal, their_completed)
+    # op1 is known to them; op3 is a fulfillment op; only op2 replays.
+    assert divergent == [(op2, b"req2", "cg")]
+    plan = FulfillmentPlan("g", divergent)
+    assert not plan.empty and len(plan) == 1
+
+
+def test_divergent_operations_skips_unjournaled():
+    op = top_level_operation_id("g", 1)
+    assert divergent_operations([op], {}, set()) == []
+    assert divergent_operations([op], {op: (None, None)}, set()) == []

@@ -1,0 +1,238 @@
+"""Unit tests for the network/node layer: delivery, loss, crashes, partitions."""
+
+import pytest
+
+from repro.simnet import FaultPlan, LinkProfile, Network, Simulator
+from repro.simnet.errors import NodeDownError, UnknownNodeError
+
+
+def make_net(seed=0, profile=None, nodes=("a", "b", "c")):
+    sim = Simulator(seed=seed)
+    net = Network(sim, profile=profile)
+    for node_id in nodes:
+        net.add_node(node_id)
+    return sim, net
+
+
+def collect(node, port="p"):
+    received = []
+    node.bind(port, lambda src, payload, size: received.append((src, payload)))
+    return received
+
+
+def test_unicast_delivery():
+    sim, net = make_net()
+    received = collect(net.node("b"))
+    net.send("a", "b", "p", "hello", size=100)
+    sim.run()
+    assert received == [("a", "hello")]
+
+
+def test_delivery_latency_includes_serialization():
+    profile = LinkProfile(latency=0.001, bandwidth=1000.0, per_hop_overhead=0)
+    sim, net = make_net(profile=profile)
+    times = []
+    net.node("b").bind("p", lambda src, payload, size: times.append(sim.now))
+    net.send("a", "b", "p", "x", size=1000)  # 1 second of serialization
+    sim.run()
+    assert times == [pytest.approx(1.001)]
+
+
+def test_fifo_order_preserved_per_flow():
+    sim, net = make_net(profile=LinkProfile(jitter=0.01))
+    received = collect(net.node("b"))
+    for i in range(20):
+        net.send("a", "b", "p", i, size=10)
+    sim.run()
+    assert [payload for _, payload in received] == list(range(20))
+
+
+def test_broadcast_reaches_all_nodes_including_self():
+    sim, net = make_net()
+    logs = {node_id: collect(net.node(node_id)) for node_id in net.node_ids()}
+    destinations = net.broadcast("a", "p", "m", size=50)
+    sim.run()
+    assert sorted(destinations) == ["a", "b", "c"]
+    for node_id in ("a", "b", "c"):
+        assert logs[node_id] == [("a", "m")]
+
+
+def test_broadcast_exclude_self():
+    sim, net = make_net()
+    logs = {node_id: collect(net.node(node_id)) for node_id in net.node_ids()}
+    net.broadcast("a", "p", "m", include_self=False)
+    sim.run()
+    assert logs["a"] == []
+    assert logs["b"] == [("a", "m")]
+
+
+def test_loss_drops_messages_deterministically():
+    profile = LinkProfile(loss=0.5)
+    sim, net = make_net(seed=3, profile=profile)
+    received = collect(net.node("b"))
+    for i in range(200):
+        net.send("a", "b", "p", i)
+    sim.run()
+    assert 0 < len(received) < 200
+    # Determinism: same seed gives same losses.
+    sim2, net2 = make_net(seed=3, profile=profile)
+    received2 = collect(net2.node("b"))
+    for i in range(200):
+        net2.send("a", "b", "p", i)
+    sim2.run()
+    assert received == received2
+
+
+def test_self_delivery_never_lost():
+    profile = LinkProfile(loss=1.0)
+    sim, net = make_net(profile=profile)
+    received = collect(net.node("a"))
+    net.broadcast("a", "p", "m")
+    sim.run()
+    assert received == [("a", "m")]
+
+
+def test_crashed_destination_drops_message():
+    sim, net = make_net()
+    received = collect(net.node("b"))
+    net.node("b").crash()
+    net.send("a", "b", "p", "m")
+    sim.run()
+    assert received == []
+
+
+def test_crashed_source_cannot_send():
+    sim, net = make_net()
+    net.node("a").crash()
+    assert net.send("a", "b", "p", "m") is False
+    assert net.broadcast("a", "p", "m") == []
+
+
+def test_crash_mid_flight_loses_message():
+    sim, net = make_net(profile=LinkProfile(latency=1.0))
+    received = collect(net.node("b"))
+    net.send("a", "b", "p", "m")
+    sim.schedule(0.5, lambda: net.node("b").crash())
+    sim.run()
+    assert received == []
+
+
+def test_recover_bumps_incarnation_and_redelivers():
+    sim, net = make_net()
+    node_b = net.node("b")
+    received = collect(node_b)
+    node_b.crash()
+    node_b.recover()
+    assert node_b.incarnation == 1
+    net.send("a", "b", "p", "after")
+    sim.run()
+    assert received == [("a", "after")]
+
+
+def test_node_timer_skipped_after_crash():
+    sim, net = make_net()
+    fired = []
+    net.node("b").timer(1.0, lambda: fired.append(1))
+    net.node("b").crash()
+    sim.run()
+    assert fired == []
+
+
+def test_node_timer_skipped_after_restart():
+    sim, net = make_net()
+    fired = []
+    node = net.node("b")
+    node.timer(1.0, lambda: fired.append(1))
+    node.crash()
+    node.recover()
+    sim.run()
+    assert fired == []
+
+
+def test_partition_blocks_cross_component_traffic():
+    sim, net = make_net()
+    received_b = collect(net.node("b"))
+    received_c = collect(net.node("c"))
+    net.partition([("a", "b"), ("c",)])
+    net.send("a", "b", "p", "in-component")
+    net.send("a", "c", "p", "cross")
+    sim.run()
+    assert received_b == [("a", "in-component")]
+    assert received_c == []
+
+
+def test_merge_restores_connectivity():
+    sim, net = make_net()
+    received_c = collect(net.node("c"))
+    net.partition([("a", "b"), ("c",)])
+    net.merge()
+    net.send("a", "c", "p", "m")
+    sim.run()
+    assert received_c == [("a", "m")]
+
+
+def test_partition_validation():
+    sim, net = make_net()
+    with pytest.raises(ValueError):
+        net.partition([("a", "b")])  # c missing
+    with pytest.raises(ValueError):
+        net.partition([("a", "b"), ("b", "c")])  # b duplicated
+    with pytest.raises(UnknownNodeError):
+        net.partition([("a", "b"), ("c", "zzz")])
+
+
+def test_component_of():
+    sim, net = make_net()
+    net.partition([("a", "b"), ("c",)])
+    assert net.component_of("a") == ["a", "b"]
+    assert net.component_of("c") == ["c"]
+
+
+def test_unknown_node_errors():
+    sim, net = make_net()
+    with pytest.raises(UnknownNodeError):
+        net.send("zzz", "a", "p", "m")
+    with pytest.raises(UnknownNodeError):
+        net.node("zzz")
+    with pytest.raises(ValueError):
+        net.add_node("a")
+
+
+def test_require_alive():
+    sim, net = make_net()
+    net.node("a").crash()
+    with pytest.raises(NodeDownError):
+        net.node("a").require_alive()
+
+
+def test_fault_plan_applies_in_order():
+    sim, net = make_net()
+    plan = (
+        FaultPlan()
+        .crash(1.0, "a")
+        .partition(2.0, [("a", "b"), ("c",)])
+        .recover(3.0, "a")
+        .merge(4.0)
+    )
+    plan.arm(net)
+    sim.run_until(1.5)
+    assert not net.node("a").alive
+    sim.run_until(2.5)
+    assert net.component_of("c") == ["c"]
+    sim.run_until(3.5)
+    assert net.node("a").alive
+    sim.run_until(4.5)
+    assert net.component_of("c") == ["a", "b", "c"]
+
+
+def test_link_profile_validation():
+    with pytest.raises(ValueError):
+        LinkProfile(latency=-1)
+    with pytest.raises(ValueError):
+        LinkProfile(loss=1.5)
+    with pytest.raises(ValueError):
+        LinkProfile(bandwidth=0)
+    profile = LinkProfile(bandwidth=None)
+    assert profile.serialization_delay(10_000) == 0.0
+    copy = profile.copy(loss=0.1)
+    assert copy.loss == 0.1 and profile.loss == 0.0

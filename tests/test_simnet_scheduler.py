@@ -1,0 +1,147 @@
+"""Unit tests for the event scheduler and simulator facade."""
+
+import pytest
+
+from repro.simnet import Simulator
+from repro.simnet.errors import SimulationError
+from repro.simnet.scheduler import EventScheduler
+
+
+def test_events_run_in_time_order():
+    sched = EventScheduler()
+    order = []
+    sched.schedule(0.3, lambda: order.append("c"))
+    sched.schedule(0.1, lambda: order.append("a"))
+    sched.schedule(0.2, lambda: order.append("b"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = EventScheduler()
+    order = []
+    for name in "abcde":
+        sched.schedule(1.0, lambda n=name: order.append(n))
+    sched.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sched = EventScheduler()
+    seen = []
+    sched.schedule(2.5, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen == [2.5]
+    assert sched.now == 2.5
+
+
+def test_cancelled_events_do_not_run():
+    sched = EventScheduler()
+    ran = []
+    handle = sched.schedule(1.0, lambda: ran.append(1))
+    handle.cancel()
+    sched.run()
+    assert ran == []
+    assert sched.pending() == 0
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(ValueError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_clamped_to_now():
+    sched = EventScheduler()
+    times = []
+    sched.schedule(1.0, lambda: sched.schedule_at(0.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [1.0]
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sched = EventScheduler()
+    ran = []
+    sched.schedule(1.0, lambda: ran.append(1))
+    sched.schedule(2.0, lambda: ran.append(2))
+    sched.schedule(3.0, lambda: ran.append(3))
+    count = sched.run_until(2.0)
+    assert count == 2
+    assert ran == [1, 2]
+    assert sched.now == 2.0
+    sched.run()
+    assert ran == [1, 2, 3]
+
+
+def test_events_scheduled_during_run_execute():
+    sched = EventScheduler()
+    order = []
+
+    def first():
+        order.append("first")
+        sched.schedule(0.5, lambda: order.append("nested"))
+
+    sched.schedule(1.0, first)
+    sched.schedule(2.0, lambda: order.append("second"))
+    sched.run()
+    assert order == ["first", "nested", "second"]
+
+
+def test_run_exhaustion_raises():
+    sched = EventScheduler()
+
+    def rearm():
+        sched.schedule(0.001, rearm)
+
+    sched.schedule(0.0, rearm)
+    with pytest.raises(SimulationError):
+        sched.run(max_events=100)
+
+
+def test_simulator_run_for():
+    sim = Simulator(seed=1)
+    ticks = []
+    sim.schedule(0.5, lambda: ticks.append(sim.now))
+    sim.schedule(1.5, lambda: ticks.append(sim.now))
+    sim.run_for(1.0)
+    assert ticks == [0.5]
+    assert sim.now == 1.0
+    sim.run_for(1.0)
+    assert ticks == [0.5, 1.5]
+
+
+def test_rng_streams_independent_and_deterministic():
+    sim_a = Simulator(seed=42)
+    sim_b = Simulator(seed=42)
+    seq_a = [sim_a.rng.uniform("x", 0, 1) for _ in range(5)]
+    # Interleave a draw on another stream in sim_b: "x" must be unaffected.
+    seq_b = []
+    for _ in range(5):
+        sim_b.rng.uniform("y", 0, 1)
+        seq_b.append(sim_b.rng.uniform("x", 0, 1))
+    assert seq_a == seq_b
+
+
+def test_rng_chance_extremes():
+    sim = Simulator(seed=7)
+    assert sim.rng.chance("c", 0.0) is False
+    assert sim.rng.chance("c", 1.0) is True
+
+
+def test_trace_counters():
+    sim = Simulator(seed=0)
+    sim.emit("cat", {"k": 1}, size=10)
+    sim.emit("cat", {"k": 2}, size=5)
+    assert sim.trace.count("cat") == 2
+    assert sim.trace.bytes("cat") == 15
+    before = sim.trace.snapshot()
+    sim.emit("cat")
+    assert sim.trace.count("cat") - before["cat"] == 1
+
+
+def test_trace_records_kept_when_enabled():
+    sim = Simulator(seed=0, keep_trace_records=True)
+    sim.emit("a", {"v": 1})
+    sim.emit("b", {"v": 2})
+    assert len(sim.trace.matching("a")) == 1
+    assert sim.trace.matching("b")[0].detail == {"v": 2}

@@ -1,0 +1,156 @@
+"""Tests for the process-group layer: group addressing and ordered views."""
+
+from repro.totem import TotemCluster
+
+
+def group_cluster(node_ids, seed=0):
+    cluster = TotemCluster(node_ids, seed=seed, with_groups=True).start()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.2)  # let initial announces propagate
+    return cluster
+
+
+def payloads(cluster, node_id):
+    return [m.payload for m in cluster.group_messages[node_id]]
+
+
+def test_group_message_delivered_only_to_members():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    cluster.groups["n1"].join("g")
+    cluster.groups["n2"].join("g")
+    cluster.sim.run_for(0.2)
+    cluster.groups["n3"].send("g", "hello")
+    cluster.sim.run_for(0.5)
+    assert payloads(cluster, "n1") == ["hello"]
+    assert payloads(cluster, "n2") == ["hello"]
+    assert payloads(cluster, "n3") == []
+
+
+def test_sender_need_not_be_member():
+    cluster = group_cluster(["n1", "n2"])
+    cluster.groups["n2"].join("g")
+    cluster.sim.run_for(0.2)
+    cluster.groups["n1"].send("g", "x")
+    cluster.sim.run_for(0.5)
+    assert payloads(cluster, "n2") == ["x"]
+
+
+def test_multi_group_send_delivered_once_per_member():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    cluster.groups["n1"].join("a")
+    cluster.groups["n2"].join("b")
+    cluster.groups["n3"].join("a")
+    cluster.groups["n3"].join("b")
+    cluster.sim.run_for(0.2)
+    cluster.groups["n1"].send(("a", "b"), "both")
+    cluster.sim.run_for(0.5)
+    assert payloads(cluster, "n1") == ["both"]
+    assert payloads(cluster, "n2") == ["both"]
+    # n3 is in both target groups but the message is delivered once.
+    assert payloads(cluster, "n3") == ["both"]
+
+
+def test_total_order_across_groups():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    for node_id in ("n1", "n2", "n3"):
+        cluster.groups[node_id].join("a")
+        cluster.groups[node_id].join("b")
+    cluster.sim.run_for(0.2)
+    for i in range(10):
+        cluster.groups["n1"].send("a", ("a", i))
+        cluster.groups["n2"].send("b", ("b", i))
+    cluster.sim.run_for(1.0)
+    assert payloads(cluster, "n1") == payloads(cluster, "n2") == payloads(cluster, "n3")
+    assert len(payloads(cluster, "n1")) == 20
+
+
+def test_views_reflect_joins():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    cluster.groups["n1"].join("g")
+    cluster.groups["n2"].join("g")
+    cluster.sim.run_for(0.5)
+    for node_id in ("n1", "n2", "n3"):
+        assert cluster.groups[node_id].members_of("g") == ("n1", "n2")
+
+
+def test_views_reflect_leaves():
+    cluster = group_cluster(["n1", "n2"])
+    cluster.groups["n1"].join("g")
+    cluster.groups["n2"].join("g")
+    cluster.sim.run_for(0.5)
+    cluster.groups["n1"].leave("g")
+    cluster.sim.run_for(0.5)
+    assert cluster.groups["n2"].members_of("g") == ("n2",)
+    views = [v for v in cluster.group_views["n2"] if v.group == "g"]
+    assert views[-1].members == ("n2",)
+
+
+def test_view_sequences_identical_across_members():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    cluster.groups["n1"].join("g")
+    cluster.groups["n2"].join("g")
+    cluster.groups["n3"].join("g")
+    cluster.sim.run_for(0.3)
+    cluster.groups["n2"].leave("g")
+    cluster.sim.run_for(0.5)
+    histories = {}
+    for node_id in ("n1", "n3"):
+        histories[node_id] = [
+            (v.view_seq, v.members)
+            for v in cluster.group_views[node_id]
+            if v.group == "g" and v.ring_key == cluster.groups[node_id].current_ring_key
+        ]
+    assert histories["n1"] == histories["n3"]
+
+
+def test_view_change_on_member_crash():
+    cluster = group_cluster(["n1", "n2", "n3"])
+    for node_id in ("n1", "n2", "n3"):
+        cluster.groups[node_id].join("g")
+    cluster.sim.run_for(0.3)
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.5)
+    assert cluster.groups["n1"].members_of("g") == ("n1", "n2")
+    assert cluster.groups["n2"].members_of("g") == ("n1", "n2")
+
+
+def test_groups_reform_after_partition_and_remerge():
+    cluster = group_cluster(["n1", "n2", "n3", "n4"])
+    for node_id in ("n1", "n2", "n3", "n4"):
+        cluster.groups[node_id].join("g")
+    cluster.sim.run_for(0.3)
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.5)
+    assert cluster.groups["n1"].members_of("g") == ("n1", "n2")
+    assert cluster.groups["n3"].members_of("g") == ("n3", "n4")
+    cluster.net.merge()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.5)
+    for node_id in ("n1", "n2", "n3", "n4"):
+        assert cluster.groups[node_id].members_of("g") == ("n1", "n2", "n3", "n4")
+
+
+def test_messages_to_group_cross_partition_only_within_component():
+    cluster = group_cluster(["n1", "n2", "n3", "n4"])
+    for node_id in ("n1", "n2", "n3", "n4"):
+        cluster.groups[node_id].join("g")
+    cluster.sim.run_for(0.3)
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(0.3)
+    cluster.groups["n1"].send("g", "left-only")
+    cluster.sim.run_for(0.5)
+    assert "left-only" in payloads(cluster, "n2")
+    assert "left-only" not in payloads(cluster, "n3")
+    assert "left-only" not in payloads(cluster, "n4")
+
+
+def test_join_idempotent_and_leave_of_nonmember_noop():
+    cluster = group_cluster(["n1", "n2"])
+    cluster.groups["n1"].join("g")
+    cluster.groups["n1"].join("g")
+    cluster.groups["n2"].leave("g")
+    cluster.sim.run_for(0.5)
+    assert cluster.groups["n2"].members_of("g") == ("n1",)

@@ -1,0 +1,205 @@
+"""Tests for Totem membership: crashes, recovery, partitions, remerge, EVS."""
+
+import pytest
+
+from repro.simnet import LinkProfile
+from repro.totem import TotemCluster
+from repro.totem.events import RegularConfiguration, TransitionalConfiguration
+
+
+def app_payloads(cluster, node_id):
+    return [
+        d.payload for d in cluster.deliveries[node_id]
+        if not (isinstance(d.payload, tuple) and d.payload and d.payload[0] == "announce")
+    ]
+
+
+def stable_cluster(node_ids, seed=0, profile=None):
+    cluster = TotemCluster(node_ids, seed=seed, profile=profile).start()
+    cluster.run_until_stable(timeout=5.0)
+    return cluster
+
+
+def test_crash_triggers_new_ring_without_victim():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    for node_id in ("n1", "n2"):
+        assert cluster.processors[node_id].installed_ring.members == ("n1", "n2")
+
+
+def test_crash_of_representative_handled():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    cluster.net.node("n1").crash()  # n1 is the representative (lowest id)
+    cluster.run_until_stable(timeout=5.0)
+    for node_id in ("n2", "n3"):
+        assert cluster.processors[node_id].installed_ring.members == ("n2", "n3")
+
+
+def test_messages_survive_member_crash():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    for i in range(5):
+        cluster.processors["n2"].send(("pre", i))
+    cluster.sim.run_for(0.5)
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    for i in range(5):
+        cluster.processors["n2"].send(("post", i))
+    cluster.sim.run_for(1.0)
+    expected = [("pre", i) for i in range(5)] + [("post", i) for i in range(5)]
+    assert app_payloads(cluster, "n1") == expected
+    assert app_payloads(cluster, "n2") == expected
+
+
+def test_recovered_node_rejoins_ring():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.net.node("n3").recover()
+    cluster.run_until_stable(timeout=5.0)
+    assert cluster.processors["n3"].installed_ring.members == ("n1", "n2", "n3")
+    cluster.processors["n3"].send("back")
+    cluster.sim.run_for(0.5)
+    assert "back" in app_payloads(cluster, "n1")
+
+
+def test_partition_forms_two_rings():
+    cluster = stable_cluster(["n1", "n2", "n3", "n4"])
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    assert cluster.processors["n1"].installed_ring.members == ("n1", "n2")
+    assert cluster.processors["n3"].installed_ring.members == ("n3", "n4")
+
+
+def test_both_components_continue_operating():
+    cluster = stable_cluster(["n1", "n2", "n3", "n4"])
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.processors["n1"].send("left")
+    cluster.processors["n3"].send("right")
+    cluster.sim.run_for(1.0)
+    assert "left" in app_payloads(cluster, "n1")
+    assert "left" in app_payloads(cluster, "n2")
+    assert "left" not in app_payloads(cluster, "n3")
+    assert "right" in app_payloads(cluster, "n3")
+    assert "right" in app_payloads(cluster, "n4")
+    assert "right" not in app_payloads(cluster, "n1")
+
+
+def test_remerge_forms_single_ring():
+    cluster = stable_cluster(["n1", "n2", "n3", "n4"])
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.net.merge()
+    cluster.run_until_stable(timeout=5.0)
+    rings = {p.installed_ring.key() for p in cluster.processors.values()}
+    assert len(rings) == 1
+    assert cluster.processors["n1"].installed_ring.members == ("n1", "n2", "n3", "n4")
+
+
+def test_messages_flow_after_remerge():
+    cluster = stable_cluster(["n1", "n2", "n3", "n4"])
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.net.merge()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.processors["n1"].send("merged")
+    cluster.sim.run_for(0.5)
+    for node_id in ("n1", "n2", "n3", "n4"):
+        assert "merged" in app_payloads(cluster, node_id)
+
+
+def test_transitional_configuration_delivered_on_membership_change():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    transitions = [
+        e for e in cluster.configs["n1"] if isinstance(e, TransitionalConfiguration)
+    ]
+    assert transitions
+    assert transitions[-1].members == ("n1", "n2")
+
+
+def test_evs_same_deliveries_for_processors_sharing_configs():
+    """Virtual synchrony: processors that move together between the same
+    configurations deliver the same messages in the same order."""
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    for i in range(20):
+        cluster.processors["n1"].send(("m", i))
+    # Crash n3 while traffic is in progress.
+    cluster.sim.run_for(0.001)
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(1.0)
+    assert app_payloads(cluster, "n1") == app_payloads(cluster, "n2")
+    assert app_payloads(cluster, "n1") == [("m", i) for i in range(20)]
+
+
+def test_evs_order_consistent_across_partition():
+    """Messages delivered in both components appear in the same relative
+    order (extended virtual synchrony's global total order)."""
+    cluster = stable_cluster(["n1", "n2", "n3", "n4"])
+    for i in range(30):
+        cluster.processors["n1"].send(("a", i))
+        cluster.processors["n3"].send(("b", i))
+    cluster.sim.run_for(0.002)
+    cluster.net.partition([("n1", "n2"), ("n3", "n4")])
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(1.0)
+    left = app_payloads(cluster, "n1")
+    right = app_payloads(cluster, "n3")
+    common = [m for m in left if m in right]
+    assert common == [m for m in right if m in left]
+    # Within each component, members agree exactly.
+    assert app_payloads(cluster, "n1") == app_payloads(cluster, "n2")
+    assert app_payloads(cluster, "n3") == app_payloads(cluster, "n4")
+
+
+def test_no_duplicate_deliveries_across_faults():
+    cluster = stable_cluster(["n1", "n2", "n3"], profile=LinkProfile(loss=0.02), seed=5)
+    for i in range(40):
+        cluster.processors["n2"].send(("m", i))
+    cluster.sim.run_for(0.002)
+    cluster.net.node("n3").crash()
+    cluster.run_until_stable(timeout=10.0)
+    cluster.sim.run_for(2.0)
+    for node_id in ("n1", "n2"):
+        payloads = app_payloads(cluster, node_id)
+        assert len(payloads) == len(set(payloads)), "duplicate delivery detected"
+        assert payloads == [("m", i) for i in range(40)]
+
+
+def test_sequential_crashes_down_to_singleton():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    cluster.net.node("n1").crash()
+    cluster.run_until_stable(timeout=5.0)
+    cluster.net.node("n2").crash()
+    cluster.run_until_stable(timeout=5.0)
+    assert cluster.processors["n3"].installed_ring.members == ("n3",)
+    cluster.processors["n3"].send("alone")
+    cluster.sim.run_for(0.5)
+    assert "alone" in app_payloads(cluster, "n3")
+
+
+def test_three_way_partition_and_full_remerge():
+    cluster = stable_cluster(["n1", "n2", "n3", "n4", "n5", "n6"])
+    cluster.net.partition([("n1", "n2"), ("n3", "n4"), ("n5", "n6")])
+    cluster.run_until_stable(timeout=10.0)
+    assert cluster.processors["n5"].installed_ring.members == ("n5", "n6")
+    cluster.net.merge()
+    cluster.run_until_stable(timeout=10.0)
+    members = cluster.processors["n1"].installed_ring.members
+    assert members == ("n1", "n2", "n3", "n4", "n5", "n6")
+
+
+def test_queued_sends_survive_membership_change():
+    cluster = stable_cluster(["n1", "n2", "n3"])
+    # Stop the world for n3 and immediately queue messages on n1.
+    cluster.net.node("n3").crash()
+    for i in range(5):
+        cluster.processors["n1"].send(("q", i))
+    cluster.run_until_stable(timeout=5.0)
+    cluster.sim.run_for(1.0)
+    assert [p for p in app_payloads(cluster, "n2") if p[0] == "q"] == [
+        ("q", i) for i in range(5)
+    ]

@@ -1,0 +1,136 @@
+"""Tests for Totem ring formation and ordered delivery (no faults)."""
+
+import pytest
+
+from repro.simnet import LinkProfile
+from repro.totem import TotemCluster
+from repro.totem.events import RegularConfiguration
+
+
+def app_payloads(cluster, node_id):
+    return [
+        d.payload for d in cluster.deliveries[node_id]
+        if not (isinstance(d.payload, tuple) and d.payload and d.payload[0] == "announce")
+    ]
+
+
+def test_ring_forms_at_boot():
+    cluster = TotemCluster(["n1", "n2", "n3"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    rings = {p.installed_ring.key() for p in cluster.processors.values()}
+    assert len(rings) == 1
+    assert list(cluster.processors["n1"].installed_ring.members) == ["n1", "n2", "n3"]
+
+
+def test_singleton_ring_forms():
+    cluster = TotemCluster(["solo"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    assert cluster.processors["solo"].installed_ring.members == ("solo",)
+
+
+def test_regular_configuration_event_delivered():
+    cluster = TotemCluster(["n1", "n2"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    regulars = [
+        e for e in cluster.configs["n1"] if isinstance(e, RegularConfiguration)
+    ]
+    assert regulars
+    assert regulars[-1].members == ("n1", "n2")
+
+
+def test_messages_delivered_to_all_in_same_order():
+    cluster = TotemCluster(["n1", "n2", "n3"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    for i in range(10):
+        cluster.processors["n1"].send(("m", "n1", i))
+        cluster.processors["n2"].send(("m", "n2", i))
+        cluster.processors["n3"].send(("m", "n3", i))
+    cluster.sim.run_for(1.0)
+    sequences = [app_payloads(cluster, n) for n in ("n1", "n2", "n3")]
+    assert len(sequences[0]) == 30
+    assert sequences[0] == sequences[1] == sequences[2]
+
+
+def test_sender_delivers_own_messages():
+    cluster = TotemCluster(["n1", "n2"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    cluster.processors["n1"].send("hello")
+    cluster.sim.run_for(0.5)
+    assert "hello" in app_payloads(cluster, "n1")
+
+
+def test_messages_queued_before_ring_are_delivered():
+    cluster = TotemCluster(["n1", "n2"])
+    for processor in cluster.processors.values():
+        processor.start()
+    cluster.processors["n1"].send("early")
+    cluster.run_until_stable(timeout=2.0)
+    cluster.sim.run_for(0.5)
+    assert app_payloads(cluster, "n2") == ["early"]
+
+
+def test_safe_delivery_waits_for_full_rotation_then_arrives():
+    cluster = TotemCluster(["n1", "n2", "n3"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    cluster.processors["n1"].send("s1", guarantee="safe")
+    cluster.processors["n2"].send("a1", guarantee="agreed")
+    cluster.sim.run_for(1.0)
+    for node_id in ("n1", "n2", "n3"):
+        payloads = app_payloads(cluster, node_id)
+        assert "s1" in payloads and "a1" in payloads
+    # Total order holds across guarantees: all nodes agree.
+    assert (
+        app_payloads(cluster, "n1")
+        == app_payloads(cluster, "n2")
+        == app_payloads(cluster, "n3")
+    )
+
+
+def test_safe_message_on_singleton_ring_is_delivered():
+    cluster = TotemCluster(["solo"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    cluster.processors["solo"].send("s", guarantee="safe")
+    cluster.sim.run_for(0.5)
+    assert app_payloads(cluster, "solo") == ["s"]
+
+
+def test_invalid_guarantee_rejected():
+    cluster = TotemCluster(["n1"]).start()
+    with pytest.raises(ValueError):
+        cluster.processors["n1"].send("x", guarantee="fifo")
+
+
+def test_large_burst_respects_window_and_delivers_all():
+    cluster = TotemCluster(["n1", "n2"]).start()
+    cluster.run_until_stable(timeout=2.0)
+    for i in range(500):
+        cluster.processors["n1"].send(i, size=32)
+    cluster.sim.run_for(3.0)
+    assert app_payloads(cluster, "n2") == list(range(500))
+
+
+def test_delivery_under_message_loss():
+    profile = LinkProfile(loss=0.05)
+    cluster = TotemCluster(["n1", "n2", "n3"], seed=11, profile=profile).start()
+    cluster.run_until_stable(timeout=5.0)
+    for i in range(50):
+        cluster.processors["n1"].send(("x", i))
+    cluster.sim.run_for(5.0)
+    expected = [("x", i) for i in range(50)]
+    for node_id in ("n1", "n2", "n3"):
+        assert app_payloads(cluster, node_id) == expected
+
+
+def test_two_clusters_same_seed_identical_behaviour():
+    def run():
+        cluster = TotemCluster(["n1", "n2", "n3"], seed=9).start()
+        cluster.run_until_stable(timeout=2.0)
+        for i in range(20):
+            cluster.processors["n2"].send(i)
+        cluster.sim.run_for(1.0)
+        return app_payloads(cluster, "n3"), cluster.sim.trace.snapshot()
+
+    first, trace_a = run()
+    second, trace_b = run()
+    assert first == second
+    assert trace_a == trace_b
