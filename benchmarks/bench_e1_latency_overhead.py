@@ -11,12 +11,17 @@ pay extra for the post-operation state update; all curves grow with
 payload size.
 """
 
+import os
+
 from benchlib import replicated_latencies, unreplicated_latencies, STYLE_LABELS
 from repro.bench import ResultTable, summarize
 from repro.replication import ReplicationStyle
 
-PAYLOADS = [16, 512, 8192, 65536]
-REQUESTS = 30
+# BENCH_SMOKE=1 (set by CI) shrinks the sweep to a correctness check:
+# same code paths, a fraction of the virtual-time budget.
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+PAYLOADS = [16, 8192] if _SMOKE else [16, 512, 8192, 65536]
+REQUESTS = 8 if _SMOKE else 30
 STYLES = [
     "unreplicated",
     ReplicationStyle.ACTIVE,

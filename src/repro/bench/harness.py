@@ -1,5 +1,6 @@
 """Result tables: rendered to stdout and persisted under benchmarks/results."""
 
+import json
 import os
 
 
@@ -20,6 +21,7 @@ class ResultTable:
         self.title = title
         self.columns = list(columns)
         self.rows = []
+        self.raw_rows = []
         self.notes = []
 
     def add_row(self, *values):
@@ -28,6 +30,7 @@ class ResultTable:
                 "expected %d values, got %d" % (len(self.columns), len(values))
             )
         self.rows.append([_format(v) for v in values])
+        self.raw_rows.append([_jsonable(v) for v in values])
         return self
 
     def note(self, text):
@@ -54,15 +57,39 @@ class ResultTable:
             lines.append("note: %s" % note)
         return "\n".join(lines)
 
+    def as_dict(self):
+        """A JSON-serializable form of the table with unformatted values."""
+        return {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.raw_rows,
+            "notes": self.notes,
+        }
+
     def emit(self, name):
-        """Print the table and persist it as benchmarks/results/<name>.txt."""
+        """Print the table and persist it under benchmarks/results/.
+
+        Two files are written: ``<name>.txt`` (the rendered table, for
+        humans) and ``<name>.json`` (raw unformatted values, for tooling
+        that compares runs).
+        """
         text = self.render()
         print()
         print(text)
         path = os.path.join(results_dir(), "%s.txt" % name)
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        json_path = os.path.join(results_dir(), "%s.json" % name)
+        with open(json_path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return text
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def _format(value):

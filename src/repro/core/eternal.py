@@ -51,10 +51,19 @@ class EternalSystem:
     """A simulated cluster running the fault-tolerant CORBA stack."""
 
     def __init__(self, node_ids, seed=0, profile=None, totem_config=None,
-                 domain="ft-domain"):
+                 domain="ft-domain", wire_codec=None, batching=None):
         self.sim = Simulator(seed=seed)
         self.net = Network(self.sim, profile=profile or LinkProfile())
         self.totem_config = totem_config or TotemConfig()
+        # Convenience toggles for the repro.wire message path (ablation
+        # without building a TotemConfig by hand).
+        overrides = {}
+        if wire_codec is not None:
+            overrides["wire_codec"] = wire_codec
+        if batching is not None:
+            overrides["batching"] = batching
+        if overrides:
+            self.totem_config = self.totem_config.copy(**overrides)
         self.domain = domain
         self.manager = ReplicationManager(domain)
         self.nodes = {}

@@ -1,4 +1,11 @@
-"""Pull-style heartbeat fault detection over plain IIOP."""
+"""Pull-style heartbeat fault detection over plain IIOP.
+
+Heartbeats are ordinary ``is_alive`` invocations through the detector's
+ORB, so they ride the same framed GIOP/TCP path (:mod:`repro.wire`) as
+application traffic -- there is no separate heartbeat wire format, and
+the byte accounting in the fault-detection benchmarks reflects the real
+encoded ping size.
+"""
 
 from repro.orb.idl import Servant, operation
 

@@ -119,7 +119,15 @@ class CdrDecoder:
     """Reads a CDR byte stream."""
 
     def __init__(self, data):
-        self._data = memoryview(bytes(data))
+        # Zero-copy when handed a memoryview (the repro.wire framing layer
+        # slices frame bodies out of a single received buffer); bytes and
+        # bytearray are wrapped without copying either.
+        if isinstance(data, memoryview):
+            self._data = data
+        elif isinstance(data, (bytes, bytearray)):
+            self._data = memoryview(data)
+        else:
+            self._data = memoryview(bytes(data))
         self._pos = 0
 
     def _take(self, count):
@@ -182,6 +190,17 @@ class CdrDecoder:
         if tag == _TAG_FROZENSET:
             return frozenset(self.value() for _ in range(self.ulong()))
         raise MarshalError("unknown CDR tag %d" % tag)
+
+    def skip(self, count):
+        """Advance past ``count`` bytes (e.g. frame padding) without copying."""
+        self._take(count)
+        return self
+
+    def rest(self):
+        """The unread tail as a zero-copy memoryview; consumes the stream."""
+        chunk = self._data[self._pos:]
+        self._pos = len(self._data)
+        return chunk
 
     def remaining(self):
         return len(self._data) - self._pos

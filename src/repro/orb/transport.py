@@ -4,25 +4,153 @@ The unreplicated ORB path (the paper's baseline) runs over connections with
 TCP semantics: connection setup, ordered reliable byte-message delivery
 with acknowledgement and retransmission, orderly close, and failure
 detection when the peer stops acknowledging.  Eternal's gateway also uses
-this transport to serve unreplicated clients.
+this transport to serve unreplicated clients, and the fault detectors'
+heartbeats ride it as ordinary GIOP requests.
 
-Segments ride the simnet as tuples; the per-flow FIFO of the network model
+Segments travel as :mod:`repro.wire` frames (kinds ``0x20``--``0x24``);
+GIOP messages ride as the trailing raw payload of data segments and are
+sliced out zero-copy on receive.  The simulated size of every segment is
+the actual encoded frame length.  The per-flow FIFO of the network model
 plus the ack/retransmit logic here gives reliability under message loss,
 and retransmission exhaustion maps to ``COMM_FAILURE``.
 """
 
-from repro.orb.exceptions import CommFailure
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.exceptions import CommFailure, MarshalError
+from repro.wire.codec import (
+    KIND_TCP_ACK,
+    KIND_TCP_DATA,
+    KIND_TCP_FIN,
+    KIND_TCP_SYN,
+    KIND_TCP_SYN_ACK,
+    kind_of,
+    register,
+)
+from repro.wire.framing import WireFormatError, decode_frame, encode_frame
 
 _PORT = "tcp"
-_HEADER_BYTES = 48
+
+
+def _encode_segment(segment):
+    enc = CdrEncoder()
+    segment.encode_wire(enc)
+    return encode_frame(kind_of(segment), enc.getvalue())
+
+
+def _nullable_string(enc, text):
+    if text is None:
+        enc.octet(0)
+    else:
+        enc.octet(1)
+        enc.string(text)
+
+
+def _read_nullable_string(dec):
+    return dec.string() if dec.octet() else None
+
+
+@register(KIND_TCP_SYN, "tcp-syn")
+class SynSegment:
+    """Connection request: open ``conn_id`` toward a listening port."""
+
+    __slots__ = ("conn_id", "port")
+
+    def __init__(self, conn_id, port):
+        self.conn_id = conn_id
+        self.port = port
+
+    def encode_wire(self, enc):
+        enc.string(self.conn_id).ulong(self.port)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.string(), dec.ulong())
+
+
+@register(KIND_TCP_SYN_ACK, "tcp-syn-ack")
+class SynAckSegment:
+    """Accept: tells conn ``conn_id`` its server-side id is ``peer_conn_id``."""
+
+    __slots__ = ("conn_id", "peer_conn_id")
+
+    def __init__(self, conn_id, peer_conn_id):
+        self.conn_id = conn_id
+        self.peer_conn_id = peer_conn_id
+
+    def encode_wire(self, enc):
+        enc.string(self.conn_id).string(self.peer_conn_id)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.string(), dec.string())
+
+
+@register(KIND_TCP_DATA, "tcp-data")
+class DataSegment:
+    """One reliable in-order message; the GIOP payload is the raw tail."""
+
+    __slots__ = ("dest_conn_id", "src_conn_id", "seq", "payload")
+
+    def __init__(self, dest_conn_id, src_conn_id, seq, payload):
+        self.dest_conn_id = dest_conn_id
+        self.src_conn_id = src_conn_id
+        self.seq = seq
+        self.payload = payload
+
+    def encode_wire(self, enc):
+        enc.string(self.dest_conn_id).string(self.src_conn_id)
+        enc.ulong(self.seq)
+        enc.raw(self.payload)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        dest = dec.string()
+        src = dec.string()
+        seq = dec.ulong()
+        return cls(dest, src, seq, dec.rest())
+
+
+@register(KIND_TCP_ACK, "tcp-ack")
+class AckSegment:
+    __slots__ = ("dest_conn_id", "seq")
+
+    def __init__(self, dest_conn_id, seq):
+        self.dest_conn_id = dest_conn_id
+        self.seq = seq
+
+    def encode_wire(self, enc):
+        enc.string(self.dest_conn_id).ulong(self.seq)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.string(), dec.ulong())
+
+
+@register(KIND_TCP_FIN, "tcp-fin")
+class FinSegment:
+    """Orderly close.  ``dest_conn_id`` is None when closing before the
+    handshake completed (the peer id is not known yet)."""
+
+    __slots__ = ("dest_conn_id",)
+
+    def __init__(self, dest_conn_id):
+        self.dest_conn_id = dest_conn_id
+
+    def encode_wire(self, enc):
+        _nullable_string(enc, self.dest_conn_id)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(_read_nullable_string(dec))
 
 
 class Connection:
     """One endpoint of an established connection.
 
     ``send`` transmits a bytes payload; the peer's ``on_message(conn,
-    payload)`` callback receives it.  ``on_close(conn, error)`` fires on
-    orderly close (error None) or failure (a :class:`CommFailure`).
+    payload)`` callback receives it (as a zero-copy memoryview of the
+    received frame).  ``on_close(conn, error)`` fires on orderly close
+    (error None) or failure (a :class:`CommFailure`).
     """
 
     def __init__(self, transport, conn_id, peer_node, peer_conn_id=None):
@@ -66,12 +194,9 @@ class Connection:
         if attempt > transport.max_retries:
             self._fail(CommFailure("retransmission limit to %s" % self.peer_node))
             return
-        transport.net.send(
-            transport.node_id,
+        transport.send_segment(
             self.peer_node,
-            _PORT,
-            ("data", self.peer_conn_id, self.conn_id, seq, payload),
-            size=_HEADER_BYTES + len(payload),
+            DataSegment(self.peer_conn_id, self.conn_id, seq, payload),
         )
         timer = transport.node.timer(
             transport.rto * (attempt + 1),
@@ -97,12 +222,8 @@ class Connection:
     # ------------------------------------------------------------------
 
     def _handle_data(self, seq, payload):
-        self.transport.net.send(
-            self.transport.node_id,
-            self.peer_node,
-            _PORT,
-            ("ack", self.peer_conn_id, seq),
-            size=_HEADER_BYTES,
+        self.transport.send_segment(
+            self.peer_node, AckSegment(self.peer_conn_id, seq)
         )
         if seq < self._expected or seq in self._out_of_order:
             return  # duplicate from retransmission
@@ -120,12 +241,8 @@ class Connection:
         """Orderly close; notifies the peer with a FIN segment."""
         if self.closed:
             return
-        self.transport.net.send(
-            self.transport.node_id,
-            self.peer_node,
-            _PORT,
-            ("fin", self.peer_conn_id),
-            size=_HEADER_BYTES,
+        self.transport.send_segment(
+            self.peer_node, FinSegment(self.peer_conn_id)
         )
         self._teardown(None)
 
@@ -181,6 +298,11 @@ class TcpTransport:
         node.on_crash(lambda _n: self._on_crash())
         node.on_recover(lambda _n: node.bind(_PORT, self._on_segment))
 
+    def send_segment(self, dest_node, segment):
+        """Frame and transmit one segment; sized at its encoded length."""
+        data = _encode_segment(segment)
+        self.net.send(self.node_id, dest_node, _PORT, data, size=len(data))
+
     def listen(self, port, on_accept):
         """Accept incoming connections on a numbered port."""
         if port in self._acceptors:
@@ -199,13 +321,7 @@ class TcpTransport:
         self._connections[conn.conn_id] = conn
 
         def send_syn():
-            self.net.send(
-                self.node_id,
-                remote_node,
-                _PORT,
-                ("syn", conn.conn_id, remote_port),
-                size=_HEADER_BYTES,
-            )
+            self.send_segment(remote_node, SynSegment(conn.conn_id, remote_port))
 
         send_syn()
 
@@ -252,59 +368,80 @@ class TcpTransport:
     # Segment handling
     # ------------------------------------------------------------------
 
-    def _on_segment(self, src, segment, size):
-        kind = segment[0]
-        if kind == "syn":
-            remote_conn_id, port = segment[1], segment[2]
-            acceptor = self._acceptors.get(port)
-            if acceptor is None:
-                return  # connection refused: SYN times out at the caller
-            # Duplicate SYN (retransmitted handshake): re-ack, don't
-            # create a second connection.
-            existing = self._accepted.get((src, remote_conn_id))
-            if existing is not None and not existing.closed:
-                self.net.send(
-                    self.node_id, src, _PORT,
-                    ("syn_ack", remote_conn_id, existing.conn_id),
-                    size=_HEADER_BYTES,
-                )
-                return
-            conn = Connection(self, self._new_conn_id(), src, remote_conn_id)
-            conn.established = True
-            self._connections[conn.conn_id] = conn
-            self._accepted[(src, remote_conn_id)] = conn
-            acceptor.on_accept(conn)
-            self.net.send(
-                self.node_id, src, _PORT,
-                ("syn_ack", remote_conn_id, conn.conn_id),
-                size=_HEADER_BYTES,
-            )
-        elif kind == "syn_ack":
-            conn_id, peer_conn_id = segment[1], segment[2]
-            conn = self._connections.get(conn_id)
-            if conn is None or conn.established:
-                return
-            conn.peer_conn_id = peer_conn_id
-            conn.established = True
-            pending, conn._pending = conn._pending, []
-            for payload in pending:
-                conn.send(payload)
-            callback = getattr(conn, "_on_connected", None)
-            if callback is not None:
-                callback(conn)
-        elif kind == "data":
-            conn = self._connections.get(segment[1])
+    def _on_segment(self, src, data, size):
+        try:
+            frame, end = decode_frame(data)
+            if end != len(data):
+                raise WireFormatError("trailing bytes after tcp segment")
+            cls = _SEGMENT_TYPES.get(frame.kind)
+            if cls is None:
+                raise WireFormatError(
+                    "unexpected kind 0x%02x on tcp port" % frame.kind)
+            dec = CdrDecoder(frame.body)
+            segment = cls.decode_wire(dec)
+            if dec.remaining():
+                raise WireFormatError("trailing bytes in tcp segment body")
+        except (WireFormatError, MarshalError, ValueError):
+            self.sim.emit("tcp.wire.error", {"node": self.node_id})
+            return
+        if isinstance(segment, SynSegment):
+            self._on_syn(src, segment)
+        elif isinstance(segment, SynAckSegment):
+            self._on_syn_ack(segment)
+        elif isinstance(segment, DataSegment):
+            conn = self._connections.get(segment.dest_conn_id)
             if conn is not None and not conn.closed:
-                conn._handle_data(segment[3], segment[4])
-        elif kind == "ack":
-            conn = self._connections.get(segment[1])
+                conn._handle_data(segment.seq, segment.payload)
+        elif isinstance(segment, AckSegment):
+            conn = self._connections.get(segment.dest_conn_id)
             if conn is not None:
-                conn._handle_ack(segment[2])
-        elif kind == "fin":
-            conn = self._connections.get(segment[1])
+                conn._handle_ack(segment.seq)
+        elif isinstance(segment, FinSegment):
+            conn = self._connections.get(segment.dest_conn_id)
             if conn is not None and not conn.closed:
                 conn.closed = True
                 for timer in conn._retransmit_timers.values():
                     timer.cancel()
                 self._forget(conn.conn_id)
                 conn.on_close(conn, None)
+
+    def _on_syn(self, src, segment):
+        acceptor = self._acceptors.get(segment.port)
+        if acceptor is None:
+            return  # connection refused: SYN times out at the caller
+        # Duplicate SYN (retransmitted handshake): re-ack, don't create a
+        # second connection.
+        existing = self._accepted.get((src, segment.conn_id))
+        if existing is not None and not existing.closed:
+            self.send_segment(
+                src, SynAckSegment(segment.conn_id, existing.conn_id)
+            )
+            return
+        conn = Connection(self, self._new_conn_id(), src, segment.conn_id)
+        conn.established = True
+        self._connections[conn.conn_id] = conn
+        self._accepted[(src, segment.conn_id)] = conn
+        acceptor.on_accept(conn)
+        self.send_segment(src, SynAckSegment(segment.conn_id, conn.conn_id))
+
+    def _on_syn_ack(self, segment):
+        conn = self._connections.get(segment.conn_id)
+        if conn is None or conn.established:
+            return
+        conn.peer_conn_id = segment.peer_conn_id
+        conn.established = True
+        pending, conn._pending = conn._pending, []
+        for payload in pending:
+            conn.send(payload)
+        callback = getattr(conn, "_on_connected", None)
+        if callback is not None:
+            callback(conn)
+
+
+_SEGMENT_TYPES = {
+    KIND_TCP_SYN: SynSegment,
+    KIND_TCP_SYN_ACK: SynAckSegment,
+    KIND_TCP_DATA: DataSegment,
+    KIND_TCP_ACK: AckSegment,
+    KIND_TCP_FIN: FinSegment,
+}

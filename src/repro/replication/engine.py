@@ -39,6 +39,7 @@ from repro.replication.replica import ExecutionTask, LocalReplica, PendingReques
 from repro.replication.styles import GroupPolicy, ReplicationStyle
 from repro.state.three_tier import FullStateCapture
 from repro.state.transfer import IncrementalAssembler, IncrementalTransfer
+from repro.wire.framing import WireFormatError
 
 # Envelope kinds shipped over the process-group layer.
 REQUEST = "ft-request"
@@ -50,6 +51,7 @@ CHECKPOINT = "ft-checkpoint"
 STATE_FULL = "ft-state-full"
 STATE_CHUNK = "ft-state-chunk"
 STATE_END = "ft-state-end"
+RECONCILED = "ft-reconciled"
 
 _ENVELOPE_OVERHEAD = 64
 
@@ -97,7 +99,7 @@ class ReplicationEngine:
 
     def __init__(self, orb, group_member, domain="ft-domain", client_group=None,
                  request_retry_timeout=0.5, request_retry_limit=3,
-                 sender_side_suppression=True):
+                 sender_side_suppression=True, merge_stall_timeout=0.25):
         self.orb = orb
         self.sim = orb.sim
         self.node = orb.node
@@ -116,6 +118,9 @@ class ReplicationEngine:
         # know are redundant; receiver-side suppression alone keeps the
         # system correct, at the cost of extra wire traffic.
         self.sender_side_suppression = sender_side_suppression
+        # Upper bound on the remerge request stall (see _stall_for_merge):
+        # normally released much sooner by the sponsor's capture.
+        self.merge_stall_timeout = merge_stall_timeout
         self.replicas = {}
         self.client_group = client_group or ("client/%s" % self.node_id)
         self.allocator = OperationIdAllocator(self.client_group)
@@ -374,6 +379,8 @@ class ReplicationEngine:
             self._deliver_state_chunk(message, payload)
         elif kind == STATE_END:
             self._deliver_state_end(message, payload)
+        elif kind == RECONCILED:
+            self._deliver_reconciled(message, payload)
 
     # ------------------------------------------------------------------
     # Requests
@@ -393,7 +400,11 @@ class ReplicationEngine:
         replica = self.replicas.get(dest_group)
         if replica is None:
             return
-        if not replica.ready:
+        if not replica.ready or (replica.awaiting_merge_capture
+                                 and not fulfillment):
+            # Fulfillment requests bypass the merge stall: they carry the
+            # secondary component's divergent operations and must execute
+            # before the stalled (post-merge) requests are replayed.
             replica.buffered.append(("request", payload, message.order_key))
             return
         self._process_request(replica, operation_id, data, client_group,
@@ -644,13 +655,59 @@ class ReplicationEngine:
         if not isinstance(event, TransitionalConfiguration):
             return
         transitional = set(event.members)
+        new_ring_members = set(event.new_ring_key[1])
         for replica in self.replicas.values():
             if not replica.ready:
                 continue
+            was_stalled = replica.awaiting_merge_capture
             replica.pre_change_members = set(replica.members) | {self.node_id}
-            replica.side_rep = derive_side_representative(
-                replica.members, transitional, self.node_id
+            if not was_stalled:
+                # Mid-merge, the representative stays frozen at its
+                # pre-merge value: a second ring change can put both sides
+                # in one transitional component, and re-deriving here
+                # would collapse side_rep to the ring minimum before the
+                # capture arrives -- permanently disabling the adoption
+                # rule (sponsor < side_rep) and leaving this replica
+                # divergent.
+                replica.side_rep = derive_side_representative(
+                    replica.members, transitional, self.node_id
+                )
+            # Remerge barrier.  A new-ring member outside our transitional
+            # component that we know hosts this group means components with
+            # divergent histories just merged: the secondary side adopts
+            # the primary side's capture and re-issues its divergent
+            # operations as fulfillment requests.  *Both* sides stall
+            # ordinary request execution until a RECONCILED marker has
+            # been delivered from every known host -- total order then
+            # guarantees all fulfillments execute before any stalled
+            # request is replayed, so no reply is computed from a state
+            # missing the other side's operations.  (The group view cannot
+            # drive this -- it is rebuilt incrementally from announces
+            # after requests can already have been delivered.)
+            outside_hosts = (
+                (new_ring_members - transitional) & replica.ever_members
             )
+            if outside_hosts:
+                awaiting = ((new_ring_members & replica.ever_members)
+                            | {self.node_id})
+                self._stall_for_merge(replica, awaiting)
+                if min(outside_hosts) > replica.side_rep:
+                    # Primary side: no capture binds us; announce at once
+                    # (again on mid-merge ring churn -- announcements sent
+                    # in the previous ring may have been cut off with it).
+                    # The secondary side announces after adopting ours.
+                    self._multicast_reconciled(replica)
+            elif was_stalled:
+                # The ring churned mid-merge and the components now travel
+                # in one transitional component, but the reconciliation
+                # itself (capture, fulfillments, announcements) is still
+                # pending -- it continues in the new ring.  Keep the stall
+                # with a fresh safety timer, and repeat our announcement
+                # if we had already made one: it may have been cut off
+                # with the previous ring.
+                self._stall_for_merge(replica, replica.merge_await)
+                if replica.merge_announced:
+                    self._multicast_reconciled(replica)
 
     def _on_view(self, view):
         replica = self.replicas.get(view.group)
@@ -658,6 +715,7 @@ class ReplicationEngine:
             return
         replica.previous_members = replica.members
         replica.members = view.members
+        replica.ever_members |= set(view.members)
         old = set(replica.previous_members)
         new = set(view.members)
         joiners = new - old
@@ -747,12 +805,11 @@ class ReplicationEngine:
             )
         else:
             transfer = IncrementalTransfer(value, replica.policy.chunk_bytes)
-            for index, total, chunk in transfer.chunks():
+            for frame in transfer.framed_chunks():
                 self.groups.send(
                     (replica.group,),
-                    (STATE_CHUNK, replica.group, self.node_id, marker,
-                     index, total, chunk),
-                    size=len(chunk) + _ENVELOPE_OVERHEAD,
+                    (STATE_CHUNK, replica.group, self.node_id, marker, frame),
+                    size=len(frame) + _ENVELOPE_OVERHEAD,
                 )
             self.groups.send(
                 (replica.group,),
@@ -779,14 +836,20 @@ class ReplicationEngine:
         self._consider_capture(replica, FullStateCapture.from_value(value), sponsor)
 
     def _deliver_state_chunk(self, message, payload):
-        _, group, sponsor, marker, index, total, chunk = payload
+        _, group, sponsor, marker, frame = payload
         replica = self.replicas.get(group)
         if replica is None or sponsor == self.node_id:
             return
         assembler = self._assemblers.setdefault(
             (group, sponsor, marker), IncrementalAssembler()
         )
-        assembler.add_chunk(index, total, chunk)
+        try:
+            assembler.add_frame(frame)
+        except WireFormatError:
+            self.sim.trace.emit(
+                "ft.state.chunk.error", node=self.node_id, group=group,
+                sponsor=sponsor,
+            )
 
     def _deliver_state_end(self, message, payload):
         _, group, sponsor, marker = payload
@@ -817,12 +880,14 @@ class ReplicationEngine:
                 return
             replica._adopted_sponsor = sponsor
             self._adopt_capture(replica, capture)
+            self._apply_captured_pending(replica, capture)
             self._make_ready(replica)
             return
         if not should_adopt_capture(sponsor, replica.side_rep, self.node_id):
             # Our own component's capture, or a capture from a component
             # whose representative is outranked by ours: we are (so far)
-            # in the primary component for this group.
+            # in the primary component for this group.  Any merge stall
+            # is released by the RECONCILED barrier, not here.
             return
         # We are in the secondary component for this group: reconcile.
         plan = FulfillmentPlan(
@@ -834,6 +899,7 @@ class ReplicationEngine:
             ),
         )
         self._adopt_capture(replica, capture)
+        self._apply_captured_pending(replica, capture)
         # Adopt the sponsor as our representative: in a multi-way merge an
         # even smaller sponsor's capture may still arrive and re-adopt.
         replica.side_rep = sponsor
@@ -841,6 +907,11 @@ class ReplicationEngine:
                                            "node": self.node_id,
                                            "fulfillment": len(plan)})
         self._multicast_fulfillment(replica, plan)
+        # Announce after the fulfillments: every stalled replica holds its
+        # buffered requests until RECONCILED has arrived from all known
+        # hosts, and total order then places our divergent operations
+        # before any of those requests.
+        self._multicast_reconciled(replica)
 
     @staticmethod
     def _their_completed(capture):
@@ -865,6 +936,25 @@ class ReplicationEngine:
                 size=len(request_bytes) + _ENVELOPE_OVERHEAD,
             )
 
+    def _apply_captured_pending(self, replica, capture):
+        """Execute the sponsor's in-flight requests carried by a capture.
+
+        Requests delivered to the sponsor's component before the merge
+        (or before a joiner joined) are not in the adopter's own delivery
+        sequence and not yet part of the captured completed state; the
+        adopter runs them here so its next execution starts from the same
+        point as the sponsor's.  Duplicate suppression makes this safe
+        when the adopter saw some of them itself.
+        """
+        entries = capture.infrastructure.get("pending") or []
+        completed = replica.tables.completed_operation_ids()
+        for op, request_bytes, client_group, order_key in entries:
+            op = _tuplify(op)
+            if op in completed:
+                continue
+            self._process_request(replica, op, bytes(request_bytes),
+                                  client_group, False, _tuplify(order_key))
+
     def _adopt_capture(self, replica, capture, checkpoint=False):
         replica.servant.set_state(capture.application)
         replica.adopt_infrastructure_state(capture.infrastructure)
@@ -881,10 +971,13 @@ class ReplicationEngine:
         replica.ready = True
         if replica.members:
             replica.side_rep = min(replica.members)
-        buffered, replica.buffered = replica.buffered, []
         self.sim.emit("ft.replica.ready", {"group": replica.group,
                                            "node": self.node_id,
-                                           "replay": len(buffered)})
+                                           "replay": len(replica.buffered)})
+        self._replay_buffered(replica)
+
+    def _replay_buffered(self, replica):
+        buffered, replica.buffered = replica.buffered, []
         for kind, payload, order_key in buffered:
             if kind == "request":
                 _, dest_group, client_group, op, data, fulfillment = payload
@@ -896,6 +989,70 @@ class ReplicationEngine:
                 self._deliver_state_update_image(_FakeMessage(order_key), payload)
             elif kind == "checkpoint":
                 self._deliver_checkpoint(_FakeMessage(order_key), payload)
+
+    # ------------------------------------------------------------------
+    # Remerge stall: secondary components wait for the inbound capture
+    # ------------------------------------------------------------------
+
+    def _stall_for_merge(self, replica, awaiting):
+        """Buffer ordinary request execution until the merge reconciles.
+
+        Armed at a transitional configuration whose new ring readmits
+        known group hosts from another component (see :meth:`_on_config`).
+        ``awaiting`` names every host whose RECONCILED marker must be
+        delivered before requests may execute again.  Re-arming while
+        already stalled (the ring churned again mid-merge) refreshes the
+        awaited set and the safety timer without replaying the buffer.
+        A timer bounds the stall in case an awaited host dies (or never
+        hosted a live replica) before announcing.
+        """
+        replica.merge_await = set(awaiting)
+        if replica.merge_stall_timer is not None:
+            replica.merge_stall_timer.cancel()
+        if not replica.awaiting_merge_capture:
+            replica.awaiting_merge_capture = True
+            self.sim.emit("ft.merge.stall", {"group": replica.group,
+                                             "node": self.node_id})
+
+        def expire():
+            self._release_merge_stall(replica, "timeout")
+
+        replica.merge_stall_timer = self.node.timer(
+            self.merge_stall_timeout, expire, "ft.merge.stall"
+        )
+
+    def _multicast_reconciled(self, replica):
+        replica.merge_announced = True
+        self.sim.emit("ft.merge.reconciled.sent", {"group": replica.group,
+                                                   "node": self.node_id})
+        self.groups.send(
+            (replica.group,),
+            (RECONCILED, replica.group, self.node_id),
+            size=_ENVELOPE_OVERHEAD,
+        )
+
+    def _deliver_reconciled(self, message, payload):
+        _, group, sender = payload
+        replica = self.replicas.get(group)
+        if replica is None or not replica.awaiting_merge_capture:
+            return
+        replica.merge_await.discard(sender)
+        if not replica.merge_await:
+            self._release_merge_stall(replica, "reconciled")
+
+    def _release_merge_stall(self, replica, reason):
+        if not replica.awaiting_merge_capture:
+            return
+        replica.awaiting_merge_capture = False
+        replica.merge_await = set()
+        replica.merge_announced = False
+        if replica.merge_stall_timer is not None:
+            replica.merge_stall_timer.cancel()
+            replica.merge_stall_timer = None
+        self.sim.emit("ft.merge.stall.released",
+                      {"group": replica.group, "node": self.node_id,
+                       "reason": reason, "replay": len(replica.buffered)})
+        self._replay_buffered(replica)
 
     # ------------------------------------------------------------------
     # Helpers

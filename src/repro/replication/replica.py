@@ -67,6 +67,16 @@ class LocalReplica:
         # state capture from the sponsor.
         self.ready = ready
         self.buffered = []
+        # A ready replica that detects, at a transitional configuration,
+        # that components with divergent histories just merged stalls
+        # ordinary request execution until a RECONCILED marker has been
+        # delivered from every host in ``merge_await``: executing before
+        # the sides reconcile would compute replies from a state missing
+        # the other side's operations.
+        self.awaiting_merge_capture = False
+        self.merge_await = set()
+        self.merge_announced = False
+        self.merge_stall_timer = None
         # Mechanisms state.
         self.tables = DuplicateTables()
         self.log = MessageLog()
@@ -84,6 +94,11 @@ class LocalReplica:
         # View bookkeeping.
         self.members = ()
         self.previous_members = ()
+        # Every node ever seen hosting this group.  Group views are rebuilt
+        # incrementally from announces after a ring change, so the current
+        # view under-reports membership right when a remerge is detected;
+        # this set remembers which ring members can host a sponsor capture.
+        self.ever_members = {self.node_id}
         # Representative of the partition component this replica has stayed
         # consistent with.  Frozen while views grow (merge in progress) and
         # re-derived when reconciliation completes, so primary-component
@@ -157,10 +172,26 @@ class LocalReplica:
     # ------------------------------------------------------------------
 
     def infrastructure_state(self):
+        # In-flight requests ride along with the capture: ops delivered to
+        # this component before a merge (or before a joiner joined) are in
+        # no one else's delivery sequence and not yet in the completed
+        # state, so an adopter that lacks them would silently diverge at
+        # its next execution.  Buffered entries are requests held back by
+        # a merge stall (see the engine's remerge barrier).
+        pending = [
+            [_listify(p.operation_id), p.request_bytes, p.client_group,
+             _listify(p.order_key)]
+            for p in self.pending_in_order()
+        ]
+        for kind, payload, order_key in self.buffered:
+            if kind == "request" and not payload[5]:
+                pending.append([_listify(payload[3]), payload[4], payload[2],
+                                _listify(order_key)])
         return {
             "dup": self.tables.capture(),
             "ops_applied": self.ops_applied,
             "completed_order": [list(op) for op in self.completed_order],
+            "pending": pending,
         }
 
     def adopt_infrastructure_state(self, snapshot):
@@ -184,4 +215,10 @@ class LocalReplica:
 def _tuplify(value):
     if isinstance(value, list):
         return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
     return value

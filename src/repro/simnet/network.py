@@ -13,6 +13,15 @@ from repro.simnet.link import LinkProfile
 from repro.simnet.node import Node
 
 
+def _wire_size(payload, size):
+    """Resolve a send's simulated size: explicit wins, else real length."""
+    if size is not None:
+        return size
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    return 0
+
+
 class Network:
     """A broadcast domain of :class:`Node` objects with a shared link profile."""
 
@@ -107,8 +116,12 @@ class Network:
     # Message transmission
     # ------------------------------------------------------------------
 
-    def send(self, src_id, dst_id, port, payload, size=0):
+    def send(self, src_id, dst_id, port, payload, size=None):
         """Unicast ``payload`` from src to dst, delivered to ``port``.
+
+        ``size`` is the simulated on-wire byte count; when omitted it
+        defaults to the payload's real length for bytes-like payloads
+        (the framed-traffic common case) and 0 otherwise.
 
         Returns True if the message was put on the wire (it may still be
         lost); False if the source is down.  Messages to unreachable or
@@ -119,21 +132,24 @@ class Network:
         self.node(dst_id)
         if not src.alive:
             return False
+        size = _wire_size(payload, size)
         depart = self._transmit_time(src_id, size)
         self.sim.emit("net.send", {"src": src_id, "dst": dst_id, "port": port}, size)
         self._deliver_later(src_id, dst_id, port, payload, size, depart)
         return True
 
-    def broadcast(self, src_id, port, payload, size=0, include_self=True):
+    def broadcast(self, src_id, port, payload, size=None, include_self=True):
         """Broadcast ``payload`` to every node (one serialization on the NIC).
 
         Totem sends its regular messages by hardware multicast, so a
         broadcast costs one serialization delay regardless of fanout.
+        ``size`` defaults as in :meth:`send`.
         Returns the list of destination ids the message departed toward.
         """
         src = self.node(src_id)
         if not src.alive:
             return []
+        size = _wire_size(payload, size)
         depart = self._transmit_time(src_id, size)
         self.sim.emit("net.broadcast", {"src": src_id, "port": port}, size)
         destinations = []

@@ -17,7 +17,7 @@ class ScheduledEvent:
     to compare the callbacks themselves.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "_sched")
 
     def __init__(self, time, seq, callback, label=""):
         self.time = time
@@ -25,11 +25,16 @@ class ScheduledEvent:
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self._sched = None
 
     def cancel(self):
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None
+        if self._sched is not None:
+            self._sched._note_cancel()
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
@@ -51,11 +56,17 @@ class EventScheduler:
     popped, so there is no wall-clock dependence anywhere in the system.
     """
 
+    # Compact only when the heap is at least this large; below it, the
+    # cancelled entries cost nothing worth a heapify.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self):
         self._heap = []
         self._seq = 0
+        self._cancelled = 0
         self.now = 0.0
         self.processed = 0
+        self.compactions = 0
 
     def schedule_at(self, time, callback, label=""):
         """Schedule ``callback()`` at absolute virtual ``time``.
@@ -67,6 +78,7 @@ class EventScheduler:
             time = self.now
         self._seq += 1
         event = ScheduledEvent(time, self._seq, callback, label)
+        event._sched = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -78,18 +90,39 @@ class EventScheduler:
 
     def pending(self):
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
+
+    def _note_cancel(self):
+        """Lazy compaction: cancelled events stay in the heap (popping them
+        is O(log n) each) until they are the majority, then one O(n) rebuild
+        drops them all.  Timer-heavy protocols (retransmits, heartbeats)
+        cancel far more events than they run, so without this the heap grows
+        with cancellations rather than with genuinely pending work."""
+        self._cancelled += 1
+        if (len(self._heap) >= self.COMPACT_MIN_SIZE
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self):
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     def step(self):
         """Run the single next event.  Returns False when the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = event.time
             self.processed += 1
             callback = event.callback
             event.callback = None
+            # The event left the heap; a late cancel() must not count it
+            # against the heap's cancelled tally.
+            event._sched = None
             callback()
             return True
         return False
@@ -122,6 +155,7 @@ class EventScheduler:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             if head.time > time:
                 break

@@ -20,8 +20,17 @@ deliberately transport-agnostic so they can be unit-tested standalone.
 """
 
 from repro.orb.cdr import decode_value, encode_value
+from repro.wire.codec import (
+    KIND_STATE_CHUNK,
+    KIND_STATE_IMAGE,
+    decode_one,
+    encode,
+    register,
+)
+from repro.wire.framing import WireFormatError
 
 
+@register(KIND_STATE_IMAGE, "state-image")
 class StateImage:
     """An update image logged during an incremental transfer.
 
@@ -40,8 +49,52 @@ class StateImage:
         self.value = value
         self.position = position
 
+    def encode_wire(self, enc):
+        enc.octet(0 if self.kind == "pre" else 1)
+        enc.value(self.key).value(self.value)
+        enc.ulong(self.position)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        kind = "pre" if dec.octet() == 0 else "post"
+        return cls(kind, dec.value(), dec.value(), dec.ulong())
+
+    def as_value(self):
+        """A CDR-marshalable representation (for envelope payloads)."""
+        return [self.kind, self.key, self.value, self.position]
+
+    @classmethod
+    def from_value(cls, value):
+        kind, key, val, position = value
+        return cls(kind, key, val, position)
+
     def __repr__(self):
         return "StateImage(%s, %s, #%d)" % (self.kind, self.key, self.position)
+
+
+@register(KIND_STATE_CHUNK, "state-chunk")
+class StateChunk:
+    """One chunk of a chunked snapshot, as a wire message."""
+
+    __slots__ = ("index", "total", "data")
+
+    def __init__(self, index, total, data):
+        self.index = index
+        self.total = total
+        self.data = data
+
+    def encode_wire(self, enc):
+        enc.ulong(self.index).ulong(self.total)
+        enc.raw(self.data)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.ulong(), dec.ulong(), dec.rest())
+
+    def __repr__(self):
+        return "StateChunk(%d/%d, %d bytes)" % (
+            self.index, self.total, len(self.data),
+        )
 
 
 class TransferStats:
@@ -122,6 +175,11 @@ class IncrementalTransfer:
             self.stats.chunk_bytes += len(chunk)
             yield index, total, chunk
 
+    def framed_chunks(self):
+        """Yield each chunk as an encoded :mod:`repro.wire` frame."""
+        for index, total, chunk in self.chunks():
+            yield encode(StateChunk(index, total, chunk))
+
     def record_update(self, kind, key, value):
         """Log an update image applied while the transfer is in progress."""
         self._position += 1
@@ -160,6 +218,14 @@ class IncrementalAssembler:
         self._total = total
         self._chunks[index] = bytes(data)
         return self.complete()
+
+    def add_frame(self, data):
+        """Decode one framed :class:`StateChunk` and store it."""
+        chunk = decode_one(data)
+        if not isinstance(chunk, StateChunk):
+            raise WireFormatError(
+                "expected a state-chunk frame, got %s" % type(chunk).__name__)
+        return self.add_chunk(chunk.index, chunk.total, chunk.data)
 
     def complete(self):
         return self._total is not None and len(self._chunks) == self._total

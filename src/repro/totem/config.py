@@ -29,9 +29,19 @@ class TotemConfig:
         window: maximum new messages a processor may broadcast per token
             visit (flow control).
         max_message_bytes: size attributed to protocol-only messages (token,
-            join, commit) for the network's serialization model.
+            join, commit) for the network's serialization model when the
+            wire codec is disabled; with the codec on, the actual encoded
+            frame length is used instead.
         beacon_interval: period of the representative's ring-advertisement
             broadcast, which is how remerged components discover each other.
+        wire_codec: encode every protocol message into :mod:`repro.wire`
+            frames before handing it to the network (sizes become the
+            actual encoded byte counts).  Disabling falls back to shipping
+            Python objects with estimated sizes (legacy mode, kept for
+            ablation).
+        batching: coalesce all regular messages broadcast during one token
+            visit into a single framed batch (one network event, one
+            per-hop overhead).  Requires ``wire_codec``.
     """
 
     def __init__(
@@ -48,6 +58,8 @@ class TotemConfig:
         window=64,
         max_message_bytes=128,
         beacon_interval=0.05,
+        wire_codec=True,
+        batching=True,
     ):
         self.token_hold = token_hold
         self.token_retransmit_timeout = token_retransmit_timeout
@@ -61,6 +73,8 @@ class TotemConfig:
         self.window = window
         self.max_message_bytes = max_message_bytes
         self.beacon_interval = beacon_interval
+        self.wire_codec = wire_codec
+        self.batching = batching
 
     def copy(self, **overrides):
         """A copy of this config with selected fields replaced."""

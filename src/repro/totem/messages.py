@@ -1,9 +1,36 @@
 """Wire-level message types of the Totem protocol.
 
-These are plain Python objects passed through the simulated network (no
-byte-level encoding: the network model charges a size in bytes, supplied by
-the sender, for its serialization-delay model).
+Each class registers a frame kind with :mod:`repro.wire` and carries its
+own body codec (``encode_wire`` / ``decode_wire``), so the processor
+ships real framed bytes through the simulated network and the simulated
+sizes are the actual encoded sizes.  ``DataMessage`` bodies are padded
+up to the sender's declared application payload size, keeping benchmark
+size sweeps honest even though the toy payloads are tiny tuples.
 """
+
+from repro.wire.codec import (
+    KIND_TOTEM_BEACON,
+    KIND_TOTEM_COMMIT,
+    KIND_TOTEM_DATA,
+    KIND_TOTEM_JOIN,
+    KIND_TOTEM_RECOVERY_DONE,
+    KIND_TOTEM_RECOVERY_REQUEST,
+    KIND_TOTEM_TOKEN,
+    register,
+)
+
+_GUARANTEE_CODE = {"agreed": 0, "safe": 1}
+_GUARANTEE_NAME = {0: "agreed", 1: "safe"}
+
+
+def _slots_eq(self, other):
+    """Structural equality over ``__slots__`` (wire round-trip testing)."""
+    if type(other) is not type(self):
+        return NotImplemented
+    return all(
+        getattr(self, slot) == getattr(other, slot)
+        for slot in type(self).__slots__
+    )
 
 
 class RingId:
@@ -32,6 +59,17 @@ class RingId:
         index = self.members.index(node_id)
         return self.members[(index + 1) % len(self.members)]
 
+    def encode_wire(self, enc):
+        enc.ulong(self.seq).ulong(len(self.members))
+        for member in self.members:
+            enc.string(member)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        seq = dec.ulong()
+        members = [dec.string() for _ in range(dec.ulong())]
+        return cls(seq, members)
+
     def __eq__(self, other):
         return isinstance(other, RingId) and self.key() == other.key()
 
@@ -42,11 +80,14 @@ class RingId:
         return "RingId(seq=%d, members=%s)" % (self.seq, list(self.members))
 
 
+@register(KIND_TOTEM_DATA, "totem-data")
 class DataMessage:
     """A regular multicast message sequenced on a ring.
 
     ``guarantee`` is ``"agreed"`` or ``"safe"``; ``retransmit`` marks copies
-    re-broadcast in answer to a retransmission request.
+    re-broadcast in answer to a retransmission request.  On the wire the
+    body is padded to the declared application payload ``size``, so the
+    encoded frame length models a real payload of that many bytes.
     """
 
     __slots__ = ("ring", "seq", "sender", "payload", "size", "guarantee", "retransmit")
@@ -66,12 +107,40 @@ class DataMessage:
             self.guarantee, retransmit=True,
         )
 
+    def encode_wire(self, enc):
+        self.ring.encode_wire(enc)
+        enc.ulong(self.seq).string(self.sender)
+        enc.octet(_GUARANTEE_CODE[self.guarantee])
+        enc.octet(1 if self.retransmit else 0)
+        enc.ulong(self.size)
+        body_start = len(enc.getvalue())
+        enc.value(self.payload)
+        encoded = len(enc.getvalue()) - body_start
+        enc.raw(b"\x00" * max(0, self.size - encoded))
+
+    @classmethod
+    def decode_wire(cls, dec):
+        ring = RingId.decode_wire(dec)
+        seq = dec.ulong()
+        sender = dec.string()
+        guarantee = _GUARANTEE_NAME[dec.octet()]
+        retransmit = bool(dec.octet())
+        size = dec.ulong()
+        before = dec.remaining()
+        payload = dec.value()
+        encoded = before - dec.remaining()
+        dec.skip(max(0, size - encoded))
+        return cls(ring, seq, sender, payload, size, guarantee, retransmit)
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "DataMessage(ring=%d, seq=%d, from=%s)" % (
             self.ring.seq, self.seq, self.sender,
         )
 
 
+@register(KIND_TOTEM_TOKEN, "totem-token")
 class Token:
     """The circulating token of the single-ring ordering protocol.
 
@@ -106,12 +175,33 @@ class Token:
             self.rotation_min, self.safe_seq,
         )
 
+    def encode_wire(self, enc):
+        self.ring.encode_wire(enc)
+        enc.ulong(self.token_id).ulong(self.seq)
+        enc.ulong(len(self.rtr))
+        for seq in sorted(self.rtr):
+            enc.ulong(seq)
+        enc.ulong(self.rotation_min).ulong(self.safe_seq)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        ring = RingId.decode_wire(dec)
+        token_id = dec.ulong()
+        seq = dec.ulong()
+        rtr = {dec.ulong() for _ in range(dec.ulong())}
+        rotation_min = dec.ulong()
+        safe_seq = dec.ulong()
+        return cls(ring, token_id, seq, rtr, rotation_min, safe_seq)
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "Token(ring=%d, id=%d, seq=%d, safe=%d, rtr=%d)" % (
             self.ring.seq, self.token_id, self.seq, self.safe_seq, len(self.rtr),
         )
 
 
+@register(KIND_TOTEM_BEACON, "totem-beacon")
 class RingBeacon:
     """Periodic advertisement of an installed ring by its representative.
 
@@ -127,10 +217,21 @@ class RingBeacon:
         self.ring = ring
         self.sender = sender
 
+    def encode_wire(self, enc):
+        self.ring.encode_wire(enc)
+        enc.string(self.sender)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(RingId.decode_wire(dec), dec.string())
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "RingBeacon(ring=%d, from=%s)" % (self.ring.seq, self.sender)
 
 
+@register(KIND_TOTEM_JOIN, "totem-join")
 class JoinMessage:
     """Membership proposal broadcast while forming a new ring.
 
@@ -148,6 +249,18 @@ class JoinMessage:
         self.fail_set = frozenset(fail_set)
         self.max_ring_seq = max_ring_seq
 
+    def encode_wire(self, enc):
+        enc.string(self.sender)
+        enc.value(self.proc_set)
+        enc.value(self.fail_set)
+        enc.ulong(self.max_ring_seq)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.string(), dec.value(), dec.value(), dec.ulong())
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "Join(from=%s, procs=%s, fail=%s)" % (
             self.sender, sorted(self.proc_set), sorted(self.fail_set),
@@ -160,6 +273,7 @@ class MemberInfo:
     Describes what the member holds from its previous ring so that every
     member can compute, deterministically, the union of recoverable
     messages and who is responsible for re-broadcasting each one.
+    (Not a top-level frame: it is encoded inline in the Commit token.)
     """
 
     __slots__ = ("member", "old_ring_key", "aru", "high_seq", "have")
@@ -171,12 +285,25 @@ class MemberInfo:
         self.high_seq = high_seq
         self.have = tuple(sorted(have))
 
+    def encode_wire(self, enc):
+        enc.string(self.member)
+        enc.value(self.old_ring_key)
+        enc.ulong(self.aru).ulong(self.high_seq)
+        enc.value(self.have)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.string(), dec.value(), dec.ulong(), dec.ulong(), dec.value())
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "MemberInfo(%s, old=%s, aru=%d, high=%d)" % (
             self.member, self.old_ring_key, self.aru, self.high_seq,
         )
 
 
+@register(KIND_TOTEM_COMMIT, "totem-commit")
 class CommitToken:
     """Two-rotation commit token installing a new ring.
 
@@ -196,12 +323,34 @@ class CommitToken:
     def copy(self):
         return CommitToken(self.ring, dict(self.infos), self.complete, self.hop)
 
+    def encode_wire(self, enc):
+        self.ring.encode_wire(enc)
+        enc.ulong(len(self.infos))
+        for member in sorted(self.infos):
+            self.infos[member].encode_wire(enc)
+        enc.octet(1 if self.complete else 0)
+        enc.ulong(self.hop)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        ring = RingId.decode_wire(dec)
+        infos = {}
+        for _ in range(dec.ulong()):
+            info = MemberInfo.decode_wire(dec)
+            infos[info.member] = info
+        complete = bool(dec.octet())
+        hop = dec.ulong()
+        return cls(ring, infos, complete, hop)
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "CommitToken(ring=%d, infos=%d, complete=%s)" % (
             self.ring.seq, len(self.infos), self.complete,
         )
 
 
+@register(KIND_TOTEM_RECOVERY_REQUEST, "totem-recovery-request")
 class RecoveryRequest:
     """Request to re-broadcast specific old-ring messages during recovery."""
 
@@ -212,10 +361,22 @@ class RecoveryRequest:
         self.seqs = tuple(sorted(seqs))
         self.sender = sender
 
+    def encode_wire(self, enc):
+        enc.value(self.ring_key)
+        enc.value(self.seqs)
+        enc.string(self.sender)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.value(), dec.value(), dec.string())
+
+    __eq__ = _slots_eq
+
     def __repr__(self):
         return "RecoveryRequest(ring=%s, seqs=%s)" % (self.ring_key, list(self.seqs))
 
 
+@register(KIND_TOTEM_RECOVERY_DONE, "totem-recovery-done")
 class RecoveryDone:
     """Announcement that a member finished recovering old-ring messages."""
 
@@ -224,6 +385,16 @@ class RecoveryDone:
     def __init__(self, new_ring_key, sender):
         self.new_ring_key = new_ring_key
         self.sender = sender
+
+    def encode_wire(self, enc):
+        enc.value(self.new_ring_key)
+        enc.string(self.sender)
+
+    @classmethod
+    def decode_wire(cls, dec):
+        return cls(dec.value(), dec.string())
+
+    __eq__ = _slots_eq
 
     def __repr__(self):
         return "RecoveryDone(ring=%s, from=%s)" % (self.new_ring_key, self.sender)

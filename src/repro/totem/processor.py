@@ -35,6 +35,9 @@ from repro.totem.messages import (
     RingId,
     Token,
 )
+from repro.wire.codec import decode_payload
+from repro.wire.codec import encode as wire_encode
+from repro.wire.framing import WireFormatError, encode_batch
 
 PORT = "totem"
 
@@ -226,6 +229,26 @@ class TotemProcessor:
     def _on_message(self, src, payload, size):
         if self.state == "down":
             return
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            # Framed traffic (the default): decode, then dispatch each
+            # message -- a batch frame carries several.
+            try:
+                messages = decode_payload(payload)
+            except WireFormatError as err:
+                self.sim.emit(
+                    "totem.wire.error",
+                    {"node": self.node_id, "error": str(err)},
+                )
+                return
+            for message in messages:
+                if self.state == "down":
+                    break
+                self._dispatch(src, message)
+        else:
+            # Legacy mode (wire_codec=False): raw message objects.
+            self._dispatch(src, payload)
+
+    def _dispatch(self, src, payload):
         if isinstance(payload, DataMessage):
             self._handle_data(src, payload)
         elif isinstance(payload, Token):
@@ -242,10 +265,24 @@ class TotemProcessor:
             self._handle_beacon(src, payload)
 
     def _broadcast(self, message, size):
-        self.net.broadcast(self.node_id, PORT, message, size=size)
+        """Broadcast one protocol message.
+
+        With the wire codec on (the default), ``message`` is encoded into a
+        frame and the simulated size is the actual encoded length; ``size``
+        (the legacy estimate) is only used with ``wire_codec=False``.
+        """
+        if self.config.wire_codec:
+            data = wire_encode(message)
+            self.net.broadcast(self.node_id, PORT, data, size=len(data))
+        else:
+            self.net.broadcast(self.node_id, PORT, message, size=size)
 
     def _unicast(self, dst, message, size):
-        self.net.send(self.node_id, dst, PORT, message, size=size)
+        if self.config.wire_codec:
+            data = wire_encode(message)
+            self.net.send(self.node_id, dst, PORT, data, size=len(data))
+        else:
+            self.net.send(self.node_id, dst, PORT, message, size=size)
 
     # ------------------------------------------------------------------
     # Operational phase: data messages
@@ -345,14 +382,28 @@ class TotemProcessor:
                 self._broadcast(msg.copy_for_retransmit(), msg.size)
                 token.rtr.discard(seq)
 
-        # 2. Broadcast queued messages, consuming sequence numbers.
+        # 2. Broadcast queued messages, consuming sequence numbers.  With
+        # batching on, every message of this token visit is coalesced into
+        # one framed batch: one simnet event and one per-hop overhead
+        # instead of `sent` of each, bounded by the flow-control window.
         sent = 0
+        batch = []
         while self.send_queue and sent < config.window:
             payload, size, guarantee = self.send_queue.pop(0)
             token.seq += 1
             msg = DataMessage(self.ring, token.seq, self.node_id, payload, size, guarantee)
-            self._broadcast(msg, size)
+            if config.wire_codec and config.batching:
+                batch.append(wire_encode(msg))
+            else:
+                self._broadcast(msg, size)
             sent += 1
+        if batch:
+            data = batch[0] if len(batch) == 1 else encode_batch(batch)
+            if len(batch) > 1:
+                self.sim.emit(
+                    "totem.batch", {"node": self.node_id, "n": len(batch)}, len(data)
+                )
+            self.net.broadcast(self.node_id, PORT, data, size=len(data))
 
         # 3. Request retransmission of messages we are missing.
         for seq in range(store.my_aru + 1, token.seq + 1):

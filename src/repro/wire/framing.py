@@ -1,0 +1,102 @@
+"""Versioned binary framing shared by every protocol layer.
+
+A frame is::
+
+    +-------+---------+------+-------+-------------+----------------+
+    | magic | version | kind | flags | body length | body ...       |
+    | 2 B   | 1 B     | 1 B  | 2 B   | 4 B         | length bytes   |
+    +-------+---------+------+-------+-------------+----------------+
+
+All header fields are big-endian.  ``magic`` is ``b"RW"`` (Repro Wire),
+``version`` is currently 1, ``kind`` identifies the message codec (see
+:mod:`repro.wire.codec` for the registry), ``flags`` are reserved
+per-kind bits, and the body is an opaque byte sequence owned by the
+codec for that kind.
+
+Decoding is zero-copy: :class:`Frame` bodies are :class:`memoryview`
+slices of the received buffer, so a batch of N messages (kind
+``KIND_BATCH``: a body that is itself a concatenation of frames) is
+split without copying any payload bytes.
+
+Every malformed input -- bad magic, unknown version, truncated header or
+body, trailing garbage -- raises :class:`WireFormatError` rather than
+letting :mod:`struct` or a codec unpack garbage.
+"""
+
+import struct
+
+MAGIC = b"RW"
+VERSION = 1
+
+_HEADER = struct.Struct(">2sBBHI")
+HEADER_BYTES = _HEADER.size
+
+#: Frame kind reserved by the framing layer itself: the body is a
+#: concatenation of complete frames (one level deep; batches never nest).
+KIND_BATCH = 0x01
+
+
+class WireFormatError(Exception):
+    """A byte sequence is not a well-formed wire frame (or frame body)."""
+
+
+class Frame:
+    """A decoded frame header plus a zero-copy view of its body."""
+
+    __slots__ = ("kind", "flags", "body")
+
+    def __init__(self, kind, flags, body):
+        self.kind = kind
+        self.flags = flags
+        self.body = body
+
+    def __repr__(self):
+        return "Frame(kind=0x%02x, flags=0x%04x, body=%dB)" % (
+            self.kind, self.flags, len(self.body),
+        )
+
+
+def encode_frame(kind, body, flags=0):
+    """Wrap ``body`` (bytes-like) in a frame header; returns bytes."""
+    if not 0 <= kind <= 0xFF:
+        raise WireFormatError("frame kind 0x%x out of range" % kind)
+    return _HEADER.pack(MAGIC, VERSION, kind, flags, len(body)) + bytes(body)
+
+
+def decode_frame(data, offset=0):
+    """Decode one frame at ``offset``; returns ``(Frame, next_offset)``.
+
+    ``data`` may be bytes, bytearray, or memoryview; the returned frame
+    body is a memoryview slice of it (no copy).
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if offset + HEADER_BYTES > len(view):
+        raise WireFormatError(
+            "truncated frame header: %d bytes at offset %d"
+            % (len(view) - offset, offset))
+    magic, version, kind, flags, length = _HEADER.unpack_from(view, offset)
+    if magic != MAGIC:
+        raise WireFormatError("bad frame magic %r" % (bytes(magic),))
+    if version != VERSION:
+        raise WireFormatError("unsupported wire version %d" % version)
+    body_start = offset + HEADER_BYTES
+    body_end = body_start + length
+    if body_end > len(view):
+        raise WireFormatError(
+            "truncated frame body: need %d bytes, have %d"
+            % (length, len(view) - body_start))
+    return Frame(kind, flags, view[body_start:body_end]), body_end
+
+
+def iter_frames(data):
+    """Yield every frame in ``data``; the frames must tile it exactly."""
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    offset = 0
+    while offset < len(view):
+        frame, offset = decode_frame(view, offset)
+        yield frame
+
+
+def encode_batch(frames):
+    """Concatenate already-encoded frames into one ``KIND_BATCH`` frame."""
+    return encode_frame(KIND_BATCH, b"".join(frames))

@@ -45,6 +45,60 @@ def test_cancelled_events_do_not_run():
     assert sched.pending() == 0
 
 
+def test_lazy_compaction_drops_cancelled_majority():
+    sched = EventScheduler()
+    handles = [
+        sched.schedule(float(i + 1), lambda: None) for i in range(200)
+    ]
+    assert sched.compactions == 0
+    for handle in handles[:150]:
+        handle.cancel()
+    # More than half the heap was cancelled: it must have been rebuilt,
+    # and cancelled entries can never be the heap majority afterwards.
+    assert sched.compactions >= 1
+    assert sched.pending() == 50
+    assert len(sched._heap) < 200
+    assert sched._cancelled * 2 <= len(sched._heap) + 1
+
+
+def test_compaction_preserves_order_and_survivors():
+    sched = EventScheduler()
+    ran = []
+    keep = []
+    for i in range(200):
+        handle = sched.schedule(float(i + 1), lambda i=i: ran.append(i))
+        if i % 4 == 0:
+            keep.append(i)
+        else:
+            handle.cancel()
+    assert sched.compactions >= 1
+    sched.run()
+    assert ran == keep
+
+
+def test_small_heaps_are_not_compacted():
+    sched = EventScheduler()
+    handles = [sched.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert sched.compactions == 0
+    assert sched.pending() == 0
+    sched.run()
+
+
+def test_cancel_is_idempotent_for_accounting():
+    sched = EventScheduler()
+    keep = sched.schedule(1.0, lambda: None)
+    handle = sched.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sched.pending() == 1
+    sched.run()
+    assert sched.pending() == 0
+    keep.cancel()  # cancelling an already-run event must not underflow
+    assert sched.pending() == 0
+
+
 def test_negative_delay_rejected():
     sched = EventScheduler()
     with pytest.raises(ValueError):
