@@ -9,9 +9,22 @@ Expected shape: replication adds a constant-plus-linear overhead (the
 multicast ordering rotation plus extra copies on the wire); passive styles
 pay extra for the post-operation state update; all curves grow with
 payload size.
+
+Script mode runs the identical experiment outside pytest and can switch
+the measurement substrate::
+
+    PYTHONPATH=src python benchmarks/bench_e1_latency_overhead.py --runtime sim
+    PYTHONPATH=src python benchmarks/bench_e1_latency_overhead.py --runtime asyncio
+
+``--runtime asyncio`` drives the same protocol cores over real UDP
+sockets on localhost and reports wall-clock latencies.
 """
 
+import argparse
 import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from benchlib import replicated_latencies, unreplicated_latencies, STYLE_LABELS
 from repro.bench import ResultTable, summarize
@@ -30,33 +43,46 @@ STYLES = [
 ]
 
 
-def run_experiment():
+def run_experiment(runtime_kind="sim", payloads=None, requests=None):
+    payloads = PAYLOADS if payloads is None else payloads
+    requests = REQUESTS if requests is None else requests
     results = {}
-    for payload in PAYLOADS:
+    for payload in payloads:
         for style in STYLES:
             if style == "unreplicated":
-                latencies = unreplicated_latencies(payload, REQUESTS)
+                latencies = unreplicated_latencies(
+                    payload, requests, runtime_kind=runtime_kind
+                )
             else:
-                latencies, _system = replicated_latencies(style, payload, REQUESTS)
+                latencies, system = replicated_latencies(
+                    style, payload, requests, runtime_kind=runtime_kind
+                )
+                system.runtime.close()
             results[(style, payload)] = summarize(latencies)
     return results
 
 
-def test_e1_latency_overhead(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-
+def build_table(results, payloads, runtime_kind="sim"):
+    clock = "virtual time" if runtime_kind == "sim" else "wall clock, real sockets"
     table = ResultTable(
-        "E1: invocation latency vs payload size (3 replicas, virtual time)",
+        "E1: invocation latency vs payload size (3 replicas, %s)" % clock,
         ["configuration", "payload B", "mean", "p95", "overhead vs unrep"],
     )
     for style in STYLES:
-        for payload in PAYLOADS:
+        for payload in payloads:
             stats = results[(style, payload)]
             base = results[("unreplicated", payload)].mean
             table.add_row(
                 STYLE_LABELS[style], payload, stats.mean, stats.p95,
                 "%.2fx" % (stats.mean / base),
             )
+    return table
+
+
+def test_e1_latency_overhead(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = build_table(results, PAYLOADS)
     table.note("expected shape: replicated > unreplicated at every size; "
                "passive >= active (state push); all grow with payload")
     table.emit("e1_latency_overhead")
@@ -75,3 +101,34 @@ def test_e1_latency_overhead(benchmark):
     for style in STYLES:
         means = [results[(style, p)].mean for p in PAYLOADS]
         assert means[-1] > means[0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="E1 latency benchmark over either runtime substrate."
+    )
+    parser.add_argument(
+        "--runtime", choices=("sim", "asyncio"), default="sim",
+        help="sim: deterministic virtual time; asyncio: real UDP sockets",
+    )
+    options = parser.parse_args(argv)
+    if options.runtime == "asyncio":
+        # Real sockets run in wall-clock time: keep the sweep short.
+        payloads, requests = [16, 8192], 10
+    else:
+        payloads, requests = PAYLOADS, REQUESTS
+    results = run_experiment(
+        runtime_kind=options.runtime, payloads=payloads, requests=requests
+    )
+    table = build_table(results, payloads, runtime_kind=options.runtime)
+    if options.runtime == "asyncio":
+        table.note("wall-clock on localhost UDP; identical protocol cores "
+                   "as the simulated run, machine-dependent magnitudes")
+        table.emit("e1_latency_overhead_asyncio")
+    else:
+        table.emit("e1_latency_overhead")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

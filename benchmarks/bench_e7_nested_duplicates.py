@@ -43,11 +43,10 @@ def run_one(style_a, style_b, seed=0):
     requests = after["ft.request.sent"] - before["ft.request.sent"]
     replies = after["ft.reply.sent"] - before["ft.reply.sent"]
     dup_requests = after["ft.request.duplicate"] - before["ft.request.duplicate"]
-    suppressed = sum(
-        r.tables.suppressed_replies
-        for r in list(system.replicas_of("acct-a").values())
-        + list(system.replicas_of("acct-b").values())
-    )
+    # Suppression now flows through the unified trace (ft.suppress.*),
+    # the same channel every other protocol counter uses.
+    suppressed = (after.get("ft.suppress.reply", 0)
+                  - before.get("ft.suppress.reply", 0))
     histories = [
         state["history"] for state in system.states_of("acct-b").values()
     ]

@@ -4,6 +4,13 @@ Builds a cluster where every node runs the complete stack and exposes the
 operations a user of the system performs: create replicated objects,
 obtain stubs, invoke operations, inject faults, and inspect outcomes.
 
+The stack is composed over a :class:`~repro.runtime.base.Runtime`: by
+default the deterministic :class:`~repro.runtime.SimRuntime` (virtual
+time, seeded network model, partition injection), but the identical
+protocol cores also run over :class:`~repro.runtime.AsyncioRuntime`
+(real UDP sockets, wall-clock time) -- see ``tests/test_runtime_parity``
+and ``examples/live_demo.py``.
+
 Typical use (see examples/quickstart.py)::
 
     system = EternalSystem(["n1", "n2", "n3"]).start()
@@ -15,13 +22,30 @@ Typical use (see examples/quickstart.py)::
     assert system.call(stub.increment(5)) == 5
 """
 
-from repro.orb.orb_core import ORB, wait_for
+from repro.orb.orb_core import ORB
 from repro.replication.engine import ReplicationEngine
 from repro.replication.manager import ReplicationManager
-from repro.simnet import LinkProfile, Network, Simulator
+from repro.runtime.sim import SimRuntime
 from repro.totem.config import TotemConfig
 from repro.totem.process_groups import GroupMember
 from repro.totem.processor import TotemProcessor
+
+
+def build_node_stack(endpoint, totem_config=None, domain="ft-domain",
+                     engine_options=None):
+    """Assemble the full per-node protocol stack on one endpoint.
+
+    Returns ``(processor, groups, orb, engine)``.  This is the single
+    composition point shared by :class:`EternalNode` and stand-alone
+    hosts such as the multi-process ``examples/live_demo.py``.
+    """
+    processor = TotemProcessor(endpoint, config=totem_config or TotemConfig())
+    groups = GroupMember(processor)
+    orb = ORB(endpoint)
+    engine = ReplicationEngine(
+        orb, groups, domain=domain, **(engine_options or {})
+    )
+    return processor, groups, orb, engine
 
 
 class EternalNode:
@@ -29,31 +53,31 @@ class EternalNode:
 
     def __init__(self, system, node_id):
         self.system = system
-        self.node = system.net.add_node(node_id)
-        self.processor = TotemProcessor(
-            system.net, self.node, config=system.totem_config
-        )
-        self.groups = GroupMember(self.processor)
-        self.orb = ORB(system.net, self.node)
-        self.engine = ReplicationEngine(
-            self.orb, self.groups, domain=system.domain
+        self.ep = system.runtime.add_node(node_id)
+        self.processor, self.groups, self.orb, self.engine = build_node_stack(
+            self.ep, totem_config=system.totem_config, domain=system.domain
         )
 
     @property
     def node_id(self):
-        return self.node.node_id
+        return self.ep.node_id
 
     def __repr__(self):
         return "EternalNode(%s)" % self.node_id
 
 
 class EternalSystem:
-    """A simulated cluster running the fault-tolerant CORBA stack."""
+    """A cluster running the fault-tolerant CORBA stack on one runtime."""
 
     def __init__(self, node_ids, seed=0, profile=None, totem_config=None,
-                 domain="ft-domain", wire_codec=None, batching=None):
-        self.sim = Simulator(seed=seed)
-        self.net = Network(self.sim, profile=profile or LinkProfile())
+                 domain="ft-domain", wire_codec=None, batching=None,
+                 runtime=None):
+        self.runtime = runtime if runtime is not None else SimRuntime(
+            seed=seed, profile=profile
+        )
+        # Simulation-only conveniences (None on real-socket runtimes).
+        self.sim = getattr(self.runtime, "sim", None)
+        self.net = getattr(self.runtime, "net", None)
         self.totem_config = totem_config or TotemConfig()
         # Convenience toggles for the repro.wire message path (ablation
         # without building a TotemConfig by hand).
@@ -98,7 +122,7 @@ class EternalSystem:
         return self
 
     def run_for(self, duration):
-        self.sim.run_for(duration)
+        self.runtime.run_for(duration)
         return self
 
     def stabilize(self, timeout=5.0, settle=0.2):
@@ -107,31 +131,33 @@ class EternalSystem:
         ``settle`` gives group announces time to propagate after the ring
         installs, so object-group views are in place.
         """
-        deadline = self.sim.now + timeout
+        runtime = self.runtime
+        deadline = runtime.now + timeout
         step = 0.005
-        while self.sim.now < deadline:
+        while runtime.now < deadline:
             if self._rings_stable():
                 break
-            self.sim.run_for(min(step, deadline - self.sim.now))
+            runtime.run_for(min(step, deadline - runtime.now))
         if not self._rings_stable():
             raise TimeoutError(
                 "rings did not stabilize: %s"
                 % {n.node_id: n.processor.state for n in self.nodes.values()}
             )
-        self.sim.run_for(settle)
+        runtime.run_for(settle)
         return self
 
     def _rings_stable(self):
+        runtime = self.runtime
         for eternal_node in self.nodes.values():
-            if not eternal_node.node.alive:
+            if not eternal_node.ep.alive:
                 continue
             ring = eternal_node.processor.installed_ring
             if ring is None:
                 return False
             expected = [
                 node_id
-                for node_id in self.net.component_of(eternal_node.node_id)
-                if self.net.node(node_id).alive and node_id in self.nodes
+                for node_id in runtime.component_of(eternal_node.node_id)
+                if runtime.alive(node_id) and node_id in self.nodes
             ]
             if list(ring.members) != expected:
                 return False
@@ -150,8 +176,8 @@ class EternalSystem:
         return self.nodes[node_id].orb.stub(ior, interface)
 
     def call(self, future, timeout=30.0):
-        """Drive the simulation until the invocation completes."""
-        return wait_for(self.sim, future, timeout=timeout)
+        """Drive the runtime until the invocation completes."""
+        return self.runtime.wait_for(future, timeout=timeout)
 
     # ------------------------------------------------------------------
     # Fault management plane
@@ -174,7 +200,7 @@ class EternalSystem:
             RecoveryCoordinator,
         )
 
-        notifier = FaultNotifier(self.sim)
+        notifier = FaultNotifier(self.runtime)
         coordinator = RecoveryCoordinator(self.manager, notifier)
         detector_orb = self.nodes[detector_node].orb
         detector = HeartbeatFaultDetector(
@@ -183,7 +209,7 @@ class EternalSystem:
             on_fault=lambda name, when: notifier.report(name, when),
         )
         for node_id, eternal_node in self.nodes.items():
-            monitorable = PullMonitorable(eternal_node.node)
+            monitorable = PullMonitorable(eternal_node.ep)
             ior = eternal_node.orb.poa.activate(
                 monitorable, object_key=PullMonitorable.OBJECT_KEY
             )
@@ -202,19 +228,19 @@ class EternalSystem:
     # ------------------------------------------------------------------
 
     def crash(self, node_id):
-        self.net.node(node_id).crash()
+        self.runtime.crash(node_id)
         return self
 
     def recover(self, node_id):
-        self.net.node(node_id).recover()
+        self.runtime.recover(node_id)
         return self
 
     def partition(self, components):
-        self.net.partition(components)
+        self.runtime.partition(components)
         return self
 
     def merge(self):
-        self.net.merge()
+        self.runtime.merge()
         return self
 
     # ------------------------------------------------------------------
@@ -234,5 +260,5 @@ class EternalSystem:
         return {
             node_id: replica.servant.get_state()
             for node_id, replica in self.replicas_of(group).items()
-            if replica.ready and self.net.node(node_id).alive
+            if replica.ready and self.runtime.alive(node_id)
         }

@@ -7,6 +7,7 @@ the byte accounting in the fault-detection benchmarks reflects the real
 encoded ping size.
 """
 
+from repro.orb.exceptions import TimeoutError_
 from repro.orb.idl import Servant, operation
 
 
@@ -28,7 +29,8 @@ class PullMonitorable(Servant):
 class MonitoredTarget:
     """Detector-side record for one monitored endpoint."""
 
-    __slots__ = ("name", "ior", "misses", "suspected", "last_ok")
+    __slots__ = ("name", "ior", "misses", "suspected", "last_ok",
+                 "pending", "deadline", "next_ping", "armed")
 
     def __init__(self, name, ior):
         self.name = name
@@ -36,14 +38,28 @@ class MonitoredTarget:
         self.misses = 0
         self.suspected = False
         self.last_ok = None
+        self.pending = None     # outstanding ping Future, if any
+        self.deadline = None    # when the outstanding ping is declared missed
+        self.next_ping = None   # when the next ping is due
+        self.armed = False      # a scheduler timer chain is live
 
 
 class HeartbeatFaultDetector:
     """Periodically pulls ``is_alive`` from targets; reports the silent.
 
+    Timer discipline: each monitored target has exactly ONE timer, rearmed
+    when it fires for the next due event (ping send or reply deadline,
+    whichever comes first).  Timers are never cancelled and reposted per
+    heartbeat -- the earlier design armed a throwaway ORB request-timeout
+    timer for every ping, so a detector watching H hosts leaked H dead
+    timer events per interval into the scheduler.  Pings are issued with
+    ``timeout=0`` (caller-managed deadline); at the deadline the detector
+    withdraws the pending entry itself via ``orb.forget_pending`` and
+    fails the future, which feeds the ordinary miss accounting.
+
     Args:
         orb: the detecting node's ORB (pings travel over its transport).
-        interval: heartbeat period, virtual seconds.
+        interval: heartbeat period, seconds.
         timeout: per-ping reply deadline.
         miss_threshold: consecutive missed deadlines before a target is
             suspected faulty.
@@ -54,7 +70,7 @@ class HeartbeatFaultDetector:
     def __init__(self, orb, interval=0.1, timeout=None, miss_threshold=2,
                  on_fault=None):
         self.orb = orb
-        self.sim = orb.sim
+        self.ep = orb.ep
         self.interval = interval
         self.timeout = timeout if timeout is not None else interval
         self.miss_threshold = miss_threshold
@@ -64,46 +80,85 @@ class HeartbeatFaultDetector:
 
     def monitor(self, name, ior):
         """Start monitoring an endpoint (idempotent per name)."""
-        self.targets[name] = MonitoredTarget(name, ior)
+        target = MonitoredTarget(name, ior)
+        self.targets[name] = target
+        if self.running:
+            self._arm(target)
         return self
 
     def forget(self, name):
+        # The target's timer chain notices the removal at its next firing
+        # and lapses; nothing to cancel.
         self.targets.pop(name, None)
 
     def start(self):
         if not self.running:
             self.running = True
-            self._tick()
+            for target in self.targets.values():
+                self._arm(target)
         return self
 
     def stop(self):
         self.running = False
 
-    def _tick(self):
-        if not self.running:
+    def _arm(self, target):
+        """(Re)start a target's timer chain if none is live."""
+        if target.armed:
             return
-        for target in list(self.targets.values()):
-            if not target.suspected:
-                self._ping(target)
-        self.orb.node.timer(self.interval, self._tick, "ftdet.tick")
+        target.armed = True
+        target.next_ping = self.ep.now
+        self._schedule(target)
 
-    def _ping(self, target):
-        future = self.orb.invoke(
-            target.ior, "is_alive", (), timeout=self.timeout
+    def _schedule(self, target):
+        due = target.next_ping
+        if target.pending is not None:
+            due = min(due, target.deadline)
+        self.ep.timer(
+            max(due - self.ep.now, 0.0),
+            lambda: self._fire(target),
+            "ftdet.sched",
         )
 
+    def _fire(self, target):
+        if not self.running or self.targets.get(target.name) is not target:
+            target.armed = False
+            return
+        now = self.ep.now
+        if target.pending is not None and now >= target.deadline - 1e-9:
+            self._expire(target)
+        if now >= target.next_ping - 1e-9:
+            if not target.suspected and target.pending is None:
+                self._ping(target)
+            target.next_ping = now + self.interval
+        self._schedule(target)
+
+    def _expire(self, target):
+        """Deadline passed with no reply: withdraw the ping, count a miss."""
+        future, target.pending = target.pending, None
+        self.orb.forget_pending(future.request_id)
+        future.set_exception(
+            TimeoutError_("heartbeat to %s after %.3fs"
+                          % (target.name, self.timeout))
+        )
+
+    def _ping(self, target):
+        future = self.orb.invoke(target.ior, "is_alive", (), timeout=0)
+        target.pending = future
+        target.deadline = self.ep.now + self.timeout
+
         def complete(fut):
+            target.pending = None
             if fut.exception() is None and fut.result() is True:
                 target.misses = 0
-                target.last_ok = self.sim.now
+                target.last_ok = self.ep.now
             else:
                 target.misses += 1
-                self.sim.emit("ftdet.miss", {"target": target.name,
-                                             "misses": target.misses})
+                self.ep.emit("ftdet.miss", {"target": target.name,
+                                            "misses": target.misses})
                 if target.misses >= self.miss_threshold and not target.suspected:
                     target.suspected = True
-                    self.sim.emit("ftdet.suspect", {"target": target.name})
-                    self.on_fault(target.name, self.sim.now)
+                    self.ep.emit("ftdet.suspect", {"target": target.name})
+                    self.on_fault(target.name, self.ep.now)
 
         future.add_done_callback(complete)
 

@@ -19,7 +19,7 @@ class RecoveryCoordinator:
     def _on_report(self, report):
         placements = self.manager.handle_fault(report.target)
         for group, node_id in placements:
-            self.manager.engines[node_id].sim.emit(
+            self.manager.engines[node_id].ep.emit(
                 "ftrecover.placement", {"group": group, "node": node_id}
             )
         self.placements.extend(placements)

@@ -18,7 +18,7 @@ class Gateway:
     def __init__(self, engine):
         self.engine = engine
         self.orb = engine.orb
-        self.sim = engine.sim
+        self.ep = engine.ep
         self.exports = {}
         self.forwarded = 0
         self.orb.poa.default_handler = self._handle
@@ -42,7 +42,7 @@ class Gateway:
         if group_ior is None:
             return False
         self.forwarded += 1
-        self.sim.emit("gateway.forward", {"key": request.object_key,
+        self.ep.emit("gateway.forward", {"key": request.object_key,
                                           "op": request.operation})
         args_future = self.orb.invoke(
             group_ior,

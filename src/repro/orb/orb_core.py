@@ -14,7 +14,6 @@ from repro.orb.exceptions import (
     ApplicationError,
     CommFailure,
     InvObjref,
-    SystemException,
     TimeoutError_,
     system_exception_from_name,
 )
@@ -31,14 +30,25 @@ from repro.orb.idl import interface_of
 from repro.orb.ior import IOR
 from repro.orb.poa import POA
 from repro.orb.transport import TcpTransport
+from repro.runtime.sim import endpoint_of
 
 DEFAULT_PORT = 683  # CORBA's historic IIOP port
 
 
 class Future:
-    """Completion handle for an asynchronous invocation."""
+    """Completion handle for an asynchronous invocation.
 
-    def __init__(self, sim):
+    Futures are runtime-agnostic: they are resolved by protocol callbacks
+    and awaited either by stepping virtual time (``wait_for`` below, or
+    ``SimRuntime.wait_for``) or by the asyncio runtime's loop bridge.
+    ``invoke`` stamps each future with the ``request_id`` of the GIOP
+    request it tracks, so callers managing their own deadlines can cancel
+    the pending entry (see ``ORB.forget_pending``).
+    """
+
+    request_id = None
+
+    def __init__(self, sim=None):
         self._sim = sim
         self._done = False
         self._result = None
@@ -90,7 +100,8 @@ def wait_for(sim, future, timeout=30.0, step=0.001):
 
     This is the bridge between test/benchmark code (outside the event loop)
     and the event-driven ORB.  Raises the future's exception, or
-    ``TimeoutError`` if virtual ``timeout`` elapses first.
+    ``TimeoutError`` if virtual ``timeout`` elapses first.  ``sim`` may be
+    any object with ``now``/``run_for`` -- a Simulator or a SimRuntime.
     """
     deadline = sim.now + timeout
     while not future.done() and sim.now < deadline:
@@ -167,7 +178,7 @@ class DirectRouter:
 
         def failed(error):
             if profiles:
-                self.orb.sim.emit(
+                self.orb.ep.emit(
                     "orb.profile.failover",
                     {"from": profile.host, "remaining": len(profiles)},
                 )
@@ -209,21 +220,21 @@ class ORB:
     """One Object Request Broker per node.
 
     Args:
-        network: the simulated network.
-        node: the hosting node.
+        network: a runtime :class:`~repro.runtime.base.Endpoint`, or (the
+            legacy two-argument form) a simulated network followed by the
+            hosting node.
+        node: the hosting node when ``network`` is a Network.
         port: IIOP listen port.
         request_timeout: relative round-trip timeout for invocations, in
-            virtual seconds; expiry resolves the Future with ``TIMEOUT``.
+            seconds; expiry resolves the Future with ``TIMEOUT``.
     """
 
-    def __init__(self, network, node, port=DEFAULT_PORT, request_timeout=10.0):
-        self.net = network
-        self.sim = network.sim
-        self.node = node
-        self.node_id = node.node_id
+    def __init__(self, network, node=None, port=DEFAULT_PORT, request_timeout=10.0):
+        self.ep = endpoint_of(network, node)
+        self.node_id = self.ep.node_id
         self.port = port
         self.request_timeout = request_timeout
-        self.transport = TcpTransport(network, node)
+        self.transport = TcpTransport(self.ep)
         self.poa = POA(self)
         self.router = DirectRouter(self)
         # request id -> (target IOR, RequestMessage): retained so a
@@ -252,12 +263,18 @@ class ORB:
         return self._request_counter
 
     def invoke(self, target, operation, args=(), response_expected=True, timeout=None):
-        """Invoke ``operation`` on a target IOR/stub; returns a Future."""
+        """Invoke ``operation`` on a target IOR/stub; returns a Future.
+
+        ``timeout`` overrides the ORB-wide request timeout; passing ``0``
+        disarms the ORB's deadline entirely -- the caller owns the
+        deadline and resolves or forgets the request itself (the fault
+        detectors do this to avoid one throwaway timer per heartbeat).
+        """
         if isinstance(target, Stub):
             target = target.ior
         if isinstance(target, str):
             target = IOR.from_string(target)
-        future = Future(self.sim)
+        future = Future()
         request = RequestMessage(
             self.next_request_id(),
             self._object_key_for(target),
@@ -265,10 +282,12 @@ class ORB:
             encode_value(tuple(args)),
             response_expected=response_expected,
         )
-        self.sim.emit("orb.invoke", {"op": operation, "node": self.node_id})
+        future.request_id = request.request_id
+        self.ep.emit("orb.invoke", {"op": operation, "node": self.node_id})
         if response_expected:
             self._pending_meta[request.request_id] = (target, request)
-            self._arm_request_timeout(request.request_id, operation, timeout)
+            if timeout != 0:
+                self._arm_request_timeout(request.request_id, operation, timeout)
         self.router.send_request(target, request, future)
         return future
 
@@ -290,7 +309,7 @@ class ORB:
                     TimeoutError_("request %d (%s) after %.3fs" % (request_id, operation, limit))
                 )
 
-        self.node.timer(limit, expire, "orb.timeout")
+        self.ep.timer(limit, expire, "orb.timeout")
 
     def _fail_request(self, request_id, error):
         future = self._pending.pop(request_id, None)
@@ -326,7 +345,7 @@ class ORB:
         if reply.status == ReplyStatus.LOCATION_FORWARD and meta is not None:
             _old_target, original = meta
             forward = IOR.from_string(decode_value(reply.body))
-            self.sim.emit("orb.forwarded", {"op": original.operation})
+            self.ep.emit("orb.forwarded", {"op": original.operation})
             request = RequestMessage(
                 self.next_request_id(),
                 self._object_key_for(forward),
@@ -390,8 +409,9 @@ class ORB:
     def locate(self, ior):
         """Send a LocateRequest for the reference; Future of locate status."""
         profile = ior.iiop_profiles()[0]
-        future = Future(self.sim)
+        future = Future()
         request = LocateRequestMessage(self.next_request_id(), profile.object_key)
+        future.request_id = request.request_id
         self._pending[request.request_id] = future
         data = encode_message(request)
         self.router._with_connection(

@@ -165,7 +165,7 @@ class POA:
                 request.request_id, ReplyStatus.LOCATION_FORWARD,
                 encode_value(ior_string),
             )
-        self.orb.sim.emit(
+        self.orb.ep.emit(
             "orb.dispatch.error",
             {"op": request.operation, "error": type(exc).__name__},
         )

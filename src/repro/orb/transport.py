@@ -17,6 +17,7 @@ and retransmission exhaustion maps to ``COMM_FAILURE``.
 
 from repro.orb.cdr import CdrDecoder, CdrEncoder
 from repro.orb.exceptions import CommFailure, MarshalError
+from repro.runtime.sim import endpoint_of
 from repro.wire.codec import (
     KIND_TCP_ACK,
     KIND_TCP_DATA,
@@ -25,6 +26,7 @@ from repro.wire.codec import (
     KIND_TCP_SYN_ACK,
     kind_of,
     register,
+    registered_kinds,
 )
 from repro.wire.framing import WireFormatError, decode_frame, encode_frame
 
@@ -198,7 +200,7 @@ class Connection:
             self.peer_node,
             DataSegment(self.peer_conn_id, self.conn_id, seq, payload),
         )
-        timer = transport.node.timer(
+        timer = transport.ep.timer(
             transport.rto * (attempt + 1),
             lambda: self._maybe_retransmit(seq, payload, attempt + 1),
             "tcp.rto",
@@ -208,7 +210,7 @@ class Connection:
     def _maybe_retransmit(self, seq, payload, attempt):
         if self.closed or seq not in self._unacked:
             return
-        self.transport.sim.emit("tcp.retransmit", {"conn": self.conn_id, "seq": seq})
+        self.transport.ep.emit("tcp.retransmit", {"conn": self.conn_id, "seq": seq})
         self._transmit(seq, payload, attempt)
 
     def _handle_ack(self, seq):
@@ -248,7 +250,7 @@ class Connection:
 
     def _fail(self, error):
         if not self.closed:
-            self.transport.sim.emit("tcp.fail", {"conn": self.conn_id})
+            self.transport.ep.emit("tcp.fail", {"conn": self.conn_id})
             self._teardown(error)
 
     def _teardown(self, error):
@@ -282,11 +284,10 @@ class Acceptor:
 class TcpTransport:
     """Per-node connection manager."""
 
-    def __init__(self, network, node, rto=0.02, max_retries=5, connect_timeout=0.25):
-        self.net = network
-        self.sim = network.sim
-        self.node = node
-        self.node_id = node.node_id
+    def __init__(self, network, node=None, rto=0.02, max_retries=5,
+                 connect_timeout=0.25):
+        self.ep = endpoint_of(network, node)
+        self.node_id = self.ep.node_id
         self.rto = rto
         self.max_retries = max_retries
         self.connect_timeout = connect_timeout
@@ -294,14 +295,25 @@ class TcpTransport:
         self._connections = {}
         self._accepted = {}  # (peer, peer conn id) -> server-side Connection
         self._conn_counter = 0
-        node.bind(_PORT, self._on_segment)
-        node.on_crash(lambda _n: self._on_crash())
-        node.on_recover(lambda _n: node.bind(_PORT, self._on_segment))
+        self.ep.bind(_PORT, self._on_segment)
+        self.ep.on_crash(lambda _n: self._on_crash())
+        self.ep.on_recover(lambda _n: self.ep.bind(_PORT, self._on_segment))
 
     def send_segment(self, dest_node, segment):
-        """Frame and transmit one segment; sized at its encoded length."""
+        """Frame and transmit one segment; sized at its encoded length.
+
+        Every transmission is counted in the runtime trace under
+        ``tcp.segment.<kind>`` so the benchmark message columns read from
+        the shared :class:`~repro.simnet.trace.TraceLog` rather than
+        per-object counters.
+        """
         data = _encode_segment(segment)
-        self.net.send(self.node_id, dest_node, _PORT, data, size=len(data))
+        self.ep.emit(
+            "tcp.segment.%s" % _SEGMENT_NAMES[type(segment)],
+            {"src": self.node_id, "dst": dest_node},
+            len(data),
+        )
+        self.ep.send(dest_node, _PORT, data, size=len(data))
 
     def listen(self, port, on_accept):
         """Accept incoming connections on a numbered port."""
@@ -330,15 +342,15 @@ class TcpTransport:
             if conn.established or conn.closed:
                 return
             if attempt <= 3:
-                self.sim.emit("tcp.syn.retransmit", {"conn": conn.conn_id})
+                self.ep.emit("tcp.syn.retransmit", {"conn": conn.conn_id})
                 send_syn()
-                self.node.timer(
+                self.ep.timer(
                     self.connect_timeout / 4,
                     lambda: resend(attempt + 1),
                     "tcp.syn.retry",
                 )
 
-        self.node.timer(self.connect_timeout / 4, resend, "tcp.syn.retry")
+        self.ep.timer(self.connect_timeout / 4, resend, "tcp.syn.retry")
 
         def timeout():
             if not conn.established and not conn.closed:
@@ -349,7 +361,7 @@ class TcpTransport:
                                           % (remote_node, remote_port)))
 
         conn._on_connected = on_connected
-        self.node.timer(self.connect_timeout, timeout, "tcp.connect")
+        self.ep.timer(self.connect_timeout, timeout, "tcp.connect")
         return conn
 
     def _new_conn_id(self):
@@ -382,7 +394,7 @@ class TcpTransport:
             if dec.remaining():
                 raise WireFormatError("trailing bytes in tcp segment body")
         except (WireFormatError, MarshalError, ValueError):
-            self.sim.emit("tcp.wire.error", {"node": self.node_id})
+            self.ep.emit("tcp.wire.error", {"node": self.node_id})
             return
         if isinstance(segment, SynSegment):
             self._on_syn(src, segment)
@@ -444,4 +456,11 @@ _SEGMENT_TYPES = {
     KIND_TCP_DATA: DataSegment,
     KIND_TCP_ACK: AckSegment,
     KIND_TCP_FIN: FinSegment,
+}
+
+# Registered wire names ("tcp-data", ...) used as trace category suffixes.
+_SEGMENT_NAMES = {
+    cls: name
+    for kind, (name, cls) in registered_kinds().items()
+    if kind in _SEGMENT_TYPES
 }

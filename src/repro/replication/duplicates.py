@@ -18,9 +18,18 @@ completed before it joined.
 
 
 class DuplicateTables:
-    """Suppression state for one object group at one node."""
+    """Suppression state for one object group at one node.
 
-    def __init__(self):
+    ``on_count`` is an optional ``callback(category)`` invoked once per
+    suppression; the hosting replica wires it to the runtime trace so
+    suppression counts land in the shared
+    :class:`~repro.simnet.trace.TraceLog` (categories
+    ``ft.suppress.request`` / ``ft.suppress.reply``) alongside every
+    other message statistic.  The integer counters remain as local
+    per-table tallies.
+    """
+
+    def __init__(self, on_count=None):
         # operation id -> "executing" | "completed"
         self.request_status = {}
         # operation id -> encoded GIOP reply bytes (completed ops)
@@ -30,6 +39,7 @@ class DuplicateTables:
         # counters reported by benchmarks
         self.suppressed_requests = 0
         self.suppressed_replies = 0
+        self.on_count = on_count or (lambda category: None)
 
     # ------------------------------------------------------------------
     # Requests
@@ -54,6 +64,7 @@ class DuplicateTables:
 
     def note_suppressed_request(self):
         self.suppressed_requests += 1
+        self.on_count("ft.suppress.request")
 
     # ------------------------------------------------------------------
     # Replies
@@ -67,6 +78,7 @@ class DuplicateTables:
 
     def note_suppressed_reply(self):
         self.suppressed_replies += 1
+        self.on_count("ft.suppress.reply")
 
     # ------------------------------------------------------------------
     # State transfer (infrastructure tier)
@@ -91,8 +103,8 @@ class DuplicateTables:
         }
 
     @classmethod
-    def restore(cls, snapshot):
-        tables = cls()
+    def restore(cls, snapshot, on_count=None):
+        tables = cls(on_count)
         tables.request_status = {
             _tuplify(op): status for op, status in snapshot["request_status"]
         }

@@ -101,8 +101,7 @@ class ReplicationEngine:
                  request_retry_timeout=0.5, request_retry_limit=3,
                  sender_side_suppression=True, merge_stall_timeout=0.25):
         self.orb = orb
-        self.sim = orb.sim
-        self.node = orb.node
+        self.ep = orb.ep
         self.node_id = orb.node_id
         self.domain = domain
         self.groups = group_member
@@ -141,8 +140,8 @@ class ReplicationEngine:
         # A process crash loses all replica and suppression state; the
         # recovered incarnation rejoins its client group empty, and the
         # ReplicationManager re-hosts replicas (ready=False) explicitly.
-        self.node.on_crash(lambda _n: self._on_node_crash())
-        self.node.on_recover(lambda _n: self._on_node_recover())
+        self.ep.on_crash(lambda _n: self._on_node_crash())
+        self.ep.on_recover(lambda _n: self._on_node_recover())
 
     def _on_node_crash(self):
         for group in list(self.replicas):
@@ -176,7 +175,7 @@ class ReplicationEngine:
         self.replicas[group] = replica
         self.orb.poa._servants["group:%s" % group] = servant
         self.groups.join(group)
-        self.sim.emit("ft.host", {"group": group, "node": self.node_id,
+        self.ep.emit("ft.host", {"group": group, "node": self.node_id,
                                   "style": policy.style, "ready": ready})
         return self.group_ior(group, servant)
 
@@ -234,10 +233,10 @@ class ReplicationEngine:
             if cached is not None and request.response_expected:
                 self._resolve_pending(operation_id, decode_message(cached))
             if self.sender_side_suppression:
-                self.sim.emit("ft.request.suppressed_at_sender",
+                self.ep.emit("ft.request.suppressed_at_sender",
                               {"op": repr(operation_id)})
                 return
-        self.sim.emit("ft.request.sent", {"group": group, "node": self.node_id})
+        self.ep.emit("ft.request.sent", {"group": group, "node": self.node_id})
         self.groups.send(
             (group, client_group),
             (REQUEST, group, client_group, operation_id, data, False),
@@ -269,7 +268,7 @@ class ReplicationEngine:
         else:
             future.set_result(None)
         replica.external_pending[operation_id] = (ior, request)
-        self.sim.emit("ft.external.request", {"group": context.group,
+        self.ep.emit("ft.external.request", {"group": context.group,
                                               "leader": replica.primary})
         if replica.is_primary:
             self._perform_external(replica, operation_id, ior, request)
@@ -279,7 +278,7 @@ class ReplicationEngine:
         from repro.orb.orb_core import Future
         from repro.orb.giop import RequestMessage
 
-        inner_future = Future(self.sim)
+        inner_future = Future()
         inner_request = RequestMessage(
             self.orb.next_request_id(),
             request.object_key,
@@ -321,7 +320,7 @@ class ReplicationEngine:
     def _reissue_external_calls(self, replica):
         """New leader: re-perform external calls the old leader left open."""
         for operation_id, (ior, request) in list(replica.external_pending.items()):
-            self.sim.emit("ft.external.reissue", {"group": replica.group})
+            self.ep.emit("ft.external.reissue", {"group": replica.group})
             self._perform_external(replica, operation_id, ior, request)
 
     def _arm_request_retry(self, group, client_group, operation_id, data,
@@ -332,7 +331,7 @@ class ReplicationEngine:
         def retry():
             if operation_id not in self.pending:
                 return  # resolved meanwhile
-            self.sim.emit("ft.request.retry",
+            self.ep.emit("ft.request.retry",
                           {"op": repr(operation_id), "attempt": attempt + 1})
             self.groups.send(
                 (group, client_group),
@@ -342,7 +341,7 @@ class ReplicationEngine:
             self._arm_request_retry(group, client_group, operation_id, data,
                                     attempt + 1)
 
-        self.node.timer(self.request_retry_timeout * (attempt + 1), retry,
+        self.ep.timer(self.request_retry_timeout * (attempt + 1), retry,
                         "ft.retry")
 
     def _resolve_pending(self, operation_id, reply):
@@ -395,7 +394,7 @@ class ReplicationEngine:
                     lambda p: p[0] == REQUEST and p[3] == operation_id
                 )
                 if cancelled:
-                    self.sim.emit("ft.request.cancelled_queued",
+                    self.ep.emit("ft.request.cancelled_queued",
                                   {"op": repr(operation_id)})
         replica = self.replicas.get(dest_group)
         if replica is None:
@@ -419,13 +418,13 @@ class ReplicationEngine:
             # but re-transmit the response.
             cached = replica.tables.cached_reply(operation_id)
             replica.tables.note_suppressed_request()
-            self.sim.emit("ft.request.duplicate", {"group": replica.group})
+            self.ep.emit("ft.request.duplicate", {"group": replica.group})
             if cached is not None and replica.is_primary and not fulfillment:
                 self._multicast_reply(replica, client_group, operation_id, cached)
             return
         if status == "executing":
             replica.tables.note_suppressed_request()
-            self.sim.emit("ft.request.duplicate", {"group": replica.group})
+            self.ep.emit("ft.request.duplicate", {"group": replica.group})
             return
         pending = PendingRequest(operation_id, data, client_group,
                                  fulfillment, order_key)
@@ -465,7 +464,7 @@ class ReplicationEngine:
             reply_bytes = encode_message(reply)
         replica.complete(operation_id, pending.request_bytes,
                          pending.client_group, reply_bytes)
-        self.sim.emit("ft.op.executed", {"group": replica.group,
+        self.ep.emit("ft.op.executed", {"group": replica.group,
                                          "node": self.node_id})
         style = replica.policy.style
         modifies = self._modifies_state(replica, request)
@@ -493,18 +492,18 @@ class ReplicationEngine:
         style = replica.policy.style
         if style == ReplicationStyle.SEMI_ACTIVE and not replica.is_primary:
             replica.tables.note_suppressed_reply()
-            self.sim.emit("ft.reply.suppressed_follower", {"group": replica.group})
+            self.ep.emit("ft.reply.suppressed_follower", {"group": replica.group})
             return
         if (replica.tables.reply_already_seen(operation_id)
                 and self.sender_side_suppression):
             replica.tables.note_suppressed_reply()
-            self.sim.emit("ft.reply.suppressed_at_sender", {"group": replica.group})
+            self.ep.emit("ft.reply.suppressed_at_sender", {"group": replica.group})
             return
         self._multicast_reply(replica, pending.client_group, operation_id,
                               reply_bytes)
 
     def _multicast_reply(self, replica, client_group, operation_id, reply_bytes):
-        self.sim.emit("ft.reply.sent", {"group": replica.group,
+        self.ep.emit("ft.reply.sent", {"group": replica.group,
                                         "node": self.node_id})
         self.groups.send(
             (client_group, replica.group),
@@ -532,7 +531,7 @@ class ReplicationEngine:
                 )
                 if cancelled:
                     replica.tables.note_suppressed_reply()
-                    self.sim.emit("ft.reply.cancelled_queued",
+                    self.ep.emit("ft.reply.cancelled_queued",
                                   {"group": server_group})
 
     # ------------------------------------------------------------------
@@ -546,7 +545,7 @@ class ReplicationEngine:
         if replica.policy.update_mode == "image":
             image = self._take_update_image(replica)
             if image is not None:
-                self.sim.emit("ft.state.update.image.sent",
+                self.ep.emit("ft.state.update.image.sent",
                               {"group": replica.group})
                 size = len(encode_value(image)) + _ENVELOPE_OVERHEAD
                 self.groups.send(
@@ -557,7 +556,7 @@ class ReplicationEngine:
                 )
                 return
         state = replica.servant.get_state()
-        self.sim.emit("ft.state.update.sent", {"group": replica.group})
+        self.ep.emit("ft.state.update.sent", {"group": replica.group})
         size = len(encode_value(state)) + _ENVELOPE_OVERHEAD
         self.groups.send(
             (replica.group,),
@@ -588,7 +587,7 @@ class ReplicationEngine:
         pending = replica.pending_requests.get(operation_id)
         request_bytes = pending.request_bytes if pending else None
         replica.complete(operation_id, request_bytes, client_group, reply_bytes)
-        self.sim.emit("ft.state.update.applied", {"group": group,
+        self.ep.emit("ft.state.update.applied", {"group": group,
                                                   "node": self.node_id})
 
     def _deliver_state_update_image(self, message, payload):
@@ -605,7 +604,7 @@ class ReplicationEngine:
         pending = replica.pending_requests.get(operation_id)
         request_bytes = pending.request_bytes if pending else None
         replica.complete(operation_id, request_bytes, client_group, reply_bytes)
-        self.sim.emit("ft.state.update.image.applied",
+        self.ep.emit("ft.state.update.image.applied",
                       {"group": group, "node": self.node_id})
 
     def _multicast_checkpoint(self, replica):
@@ -615,7 +614,7 @@ class ReplicationEngine:
         from repro.orb.cdr import encode_value
 
         value = capture.as_value()
-        self.sim.emit("ft.checkpoint.sent", {"group": replica.group})
+        self.ep.emit("ft.checkpoint.sent", {"group": replica.group})
         self.groups.send(
             (replica.group,),
             (CHECKPOINT, replica.group, value),
@@ -634,7 +633,7 @@ class ReplicationEngine:
             return  # primary already reset its own counters when sending
         self._adopt_capture(replica, FullStateCapture.from_value(value),
                             checkpoint=True)
-        self.sim.emit("ft.checkpoint.applied", {"group": group,
+        self.ep.emit("ft.checkpoint.applied", {"group": group,
                                                 "node": self.node_id})
 
     # ------------------------------------------------------------------
@@ -721,7 +720,7 @@ class ReplicationEngine:
         joiners = new - old
         new_ring = view.ring_key != getattr(replica, "view_ring_key", None)
         replica.view_ring_key = view.ring_key
-        self.sim.emit("ft.view", {"group": view.group,
+        self.ep.emit("ft.view", {"group": view.group,
                                   "members": list(view.members)})
         if replica.ready and replica.side_rep is None and new:
             # Bootstrap (no transitional configuration has occurred yet).
@@ -747,7 +746,7 @@ class ReplicationEngine:
 
     def _fail_over(self, replica):
         """This node became the passive primary: finish uncovered work."""
-        self.sim.emit("ft.failover", {"group": replica.group,
+        self.ep.emit("ft.failover", {"group": replica.group,
                                       "node": self.node_id})
         for pending in replica.pending_in_order():
             if pending.operation_id in replica.executing:
@@ -791,7 +790,7 @@ class ReplicationEngine:
 
         encoded = encode_value(value)
         marker = "%s@%d" % (self.node_id, replica.ops_applied)
-        self.sim.emit("ft.state.full.sent",
+        self.ep.emit("ft.state.full.sent",
                       {"group": replica.group, "bytes": len(encoded)})
         if replica.policy.state_transfer == "blocking":
             # Blocking semantics: the replica processes no operations until
@@ -846,9 +845,9 @@ class ReplicationEngine:
         try:
             assembler.add_frame(frame)
         except WireFormatError:
-            self.sim.trace.emit(
-                "ft.state.chunk.error", node=self.node_id, group=group,
-                sponsor=sponsor,
+            self.ep.emit(
+                "ft.state.chunk.error",
+                {"node": self.node_id, "group": group, "sponsor": sponsor},
             )
 
     def _deliver_state_end(self, message, payload):
@@ -858,7 +857,7 @@ class ReplicationEngine:
             return
         assembler = self._assemblers.pop((group, sponsor, marker), None)
         if assembler is None or not assembler.complete():
-            self.sim.emit("ft.state.chunk.incomplete", {"group": group})
+            self.ep.emit("ft.state.chunk.incomplete", {"group": group})
             return
         value = assembler.assemble()
         self._consider_capture(replica, FullStateCapture.from_value(value), sponsor)
@@ -903,7 +902,7 @@ class ReplicationEngine:
         # Adopt the sponsor as our representative: in a multi-way merge an
         # even smaller sponsor's capture may still arrive and re-adopt.
         replica.side_rep = sponsor
-        self.sim.emit("ft.merge.adopted", {"group": replica.group,
+        self.ep.emit("ft.merge.adopted", {"group": replica.group,
                                            "node": self.node_id,
                                            "fulfillment": len(plan)})
         self._multicast_fulfillment(replica, plan)
@@ -928,7 +927,7 @@ class ReplicationEngine:
             fulfillment_op = fulfillment_operation_id(original_op, 0)
             if fulfillment_op in replica.tables.completed_operation_ids():
                 continue
-            self.sim.emit("ft.fulfillment.sent", {"group": replica.group})
+            self.ep.emit("ft.fulfillment.sent", {"group": replica.group})
             self.groups.send(
                 (replica.group, client_group or self.client_group),
                 (REQUEST, replica.group, client_group or self.client_group,
@@ -971,7 +970,7 @@ class ReplicationEngine:
         replica.ready = True
         if replica.members:
             replica.side_rep = min(replica.members)
-        self.sim.emit("ft.replica.ready", {"group": replica.group,
+        self.ep.emit("ft.replica.ready", {"group": replica.group,
                                            "node": self.node_id,
                                            "replay": len(replica.buffered)})
         self._replay_buffered(replica)
@@ -1011,19 +1010,19 @@ class ReplicationEngine:
             replica.merge_stall_timer.cancel()
         if not replica.awaiting_merge_capture:
             replica.awaiting_merge_capture = True
-            self.sim.emit("ft.merge.stall", {"group": replica.group,
+            self.ep.emit("ft.merge.stall", {"group": replica.group,
                                              "node": self.node_id})
 
         def expire():
             self._release_merge_stall(replica, "timeout")
 
-        replica.merge_stall_timer = self.node.timer(
+        replica.merge_stall_timer = self.ep.timer(
             self.merge_stall_timeout, expire, "ft.merge.stall"
         )
 
     def _multicast_reconciled(self, replica):
         replica.merge_announced = True
-        self.sim.emit("ft.merge.reconciled.sent", {"group": replica.group,
+        self.ep.emit("ft.merge.reconciled.sent", {"group": replica.group,
                                                    "node": self.node_id})
         self.groups.send(
             (replica.group,),
@@ -1049,7 +1048,7 @@ class ReplicationEngine:
         if replica.merge_stall_timer is not None:
             replica.merge_stall_timer.cancel()
             replica.merge_stall_timer = None
-        self.sim.emit("ft.merge.stall.released",
+        self.ep.emit("ft.merge.stall.released",
                       {"group": replica.group, "node": self.node_id,
                        "reason": reason, "replay": len(replica.buffered)})
         self._replay_buffered(replica)

@@ -133,7 +133,7 @@ class ReplicationManager:
     def _pick_spare(self, record):
         for node_id in self.spares:
             engine = self.engines[node_id]
-            if not engine.node.alive:
+            if not engine.ep.alive:
                 continue
             if node_id in record.locations:
                 continue

@@ -78,7 +78,7 @@ class LocalReplica:
         self.merge_announced = False
         self.merge_stall_timer = None
         # Mechanisms state.
-        self.tables = DuplicateTables()
+        self.tables = DuplicateTables(self._count_suppression)
         self.log = MessageLog()
         self.pending_requests = {}   # op id -> PendingRequest (not completed)
         self.pending_order = []      # op ids in delivery order
@@ -105,16 +105,19 @@ class LocalReplica:
         # determination at remerge does not depend on intermediate views.
         self.side_rep = None
         self.dispatcher = make_dispatcher(
-            policy.dispatch_policy, engine.sim, engine.node
+            policy.dispatch_policy, engine.ep, engine.ep
         )
         self.environment = SanitizedEnvironment(
-            engine.sim, engine.node, sanitized=policy.sanitize_environment
+            engine.ep, engine.ep, sanitized=policy.sanitize_environment
         )
         # Give the servant access to the (possibly sanitized) environment,
         # mirroring Eternal's interception of time/random system calls.
         servant.env = self.environment
         # Incremental transfer in progress (sponsor side).
         self.transfer_images = None
+
+    def _count_suppression(self, category):
+        self.engine.ep.emit(category, {"group": self.group})
 
     # ------------------------------------------------------------------
     # Roles
@@ -195,7 +198,9 @@ class LocalReplica:
         }
 
     def adopt_infrastructure_state(self, snapshot):
-        self.tables = DuplicateTables.restore(snapshot["dup"])
+        self.tables = DuplicateTables.restore(
+            snapshot["dup"], self._count_suppression
+        )
         self.ops_applied = snapshot["ops_applied"]
         self.completed_order = [
             _tuplify(op) for op in snapshot["completed_order"]

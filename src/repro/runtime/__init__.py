@@ -1,0 +1,48 @@
+"""Pluggable runtime layer: one protocol stack, many I/O substrates.
+
+The protocol cores (Totem ordering, the TCP-like ORB transport, the
+replication engine, fault detection) are written sans-I/O: they consume
+*bytes in* (datagrams handed to a bound port handler) and *timer events*,
+and they produce *frames out* (bytes handed back to an endpoint) and
+*timer requests*.  Nothing in them touches a scheduler, a socket, or a
+clock directly -- all of that flows through the narrow
+:class:`~repro.runtime.base.Endpoint` interface.
+
+Two runtimes implement that interface:
+
+- :class:`~repro.runtime.sim.SimRuntime` drives the cores with the
+  deterministic simnet scheduler and LAN model (virtual time, seeded
+  loss/jitter, partitions).  This is the tier-1 test substrate.
+- :class:`~repro.runtime.aio.AsyncioRuntime` drives the *same* cores
+  with real UDP sockets on an asyncio event loop (wall-clock time,
+  loopback or LAN delivery, cross-process operation).
+
+Because the wire codec (:mod:`repro.wire`) already produces real encoded
+bytes for every protocol message, switching runtimes changes nothing in
+the protocol code path -- only who moves the bytes and who fires the
+timers.
+"""
+
+from repro.runtime.base import Endpoint, Runtime
+from repro.runtime.sim import SimEndpoint, SimRuntime, endpoint_of
+
+__all__ = [
+    "Endpoint",
+    "Runtime",
+    "SimEndpoint",
+    "SimRuntime",
+    "endpoint_of",
+    "AsyncioEndpoint",
+    "AsyncioRuntime",
+]
+
+
+def __getattr__(name):
+    # The asyncio runtime is imported lazily so that simulation-only use
+    # (the common case in tests and benchmarks) never pays for, or
+    # depends on, the asyncio import.
+    if name in ("AsyncioRuntime", "AsyncioEndpoint"):
+        from repro.runtime import aio
+
+        return getattr(aio, name)
+    raise AttributeError(name)

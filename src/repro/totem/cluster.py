@@ -1,22 +1,30 @@
 """Convenience builder for a cluster of Totem processors.
 
-Used by tests, examples, and benchmarks to assemble a simulator, a network,
-and one processor (plus optional process-group endpoint) per node, and to
-run the simulation until a stable ring forms.
+Used by tests, examples, and benchmarks to assemble a runtime and one
+processor (plus optional process-group endpoint) per node, and to run
+the cluster until a stable ring forms.  By default the cluster runs on
+the deterministic :class:`~repro.runtime.SimRuntime`; passing any other
+:class:`~repro.runtime.base.Runtime` (e.g. the asyncio runtime) runs
+the identical protocol code over that substrate instead.
 """
 
-from repro.simnet import LinkProfile, Network, Simulator
+from repro.runtime.sim import SimRuntime
 from repro.totem.config import TotemConfig
 from repro.totem.process_groups import GroupMember
 from repro.totem.processor import TotemProcessor
 
 
 class TotemCluster:
-    """A simulator + network + one Totem processor per node."""
+    """A runtime + one Totem processor per node."""
 
-    def __init__(self, node_ids, seed=0, profile=None, config=None, with_groups=False):
-        self.sim = Simulator(seed=seed)
-        self.net = Network(self.sim, profile=profile or LinkProfile())
+    def __init__(self, node_ids, seed=0, profile=None, config=None,
+                 with_groups=False, runtime=None):
+        self.runtime = runtime if runtime is not None else SimRuntime(
+            seed=seed, profile=profile
+        )
+        # Simulation-only conveniences (None on real-socket runtimes).
+        self.sim = getattr(self.runtime, "sim", None)
+        self.net = getattr(self.runtime, "net", None)
         self.config = config or TotemConfig()
         self.processors = {}
         self.groups = {}
@@ -25,10 +33,9 @@ class TotemCluster:
         self.group_messages = {node_id: [] for node_id in node_ids}
         self.group_views = {node_id: [] for node_id in node_ids}
         for node_id in node_ids:
-            node = self.net.add_node(node_id)
+            endpoint = self.runtime.add_node(node_id)
             processor = TotemProcessor(
-                self.net,
-                node,
+                endpoint,
                 config=self.config,
                 on_deliver=self._recorder(self.deliveries[node_id]),
                 on_config=self._recorder(self.configs[node_id]),
@@ -49,14 +56,14 @@ class TotemCluster:
         return target.append
 
     def start(self):
-        """Boot every processor at the current virtual time."""
+        """Boot every processor at the current time."""
         for processor in self.processors.values():
             processor.start()
         return self
 
     def live_processors(self):
-        """Processors whose node is currently up."""
-        return [p for p in self.processors.values() if p.node.alive]
+        """Processors whose endpoint is currently up."""
+        return [p for p in self.processors.values() if p.ep.alive]
 
     def stable(self):
         """True when every live processor has installed the same ring.
@@ -65,39 +72,41 @@ class TotemCluster:
         component: every live processor must be operational on a ring whose
         membership matches the live members of its component.
         """
+        runtime = self.runtime
         for processor in self.live_processors():
             ring = processor.installed_ring
             if ring is None:
                 return False
             expected = [
                 node_id
-                for node_id in self.net.component_of(processor.node_id)
-                if self.net.node(node_id).alive
+                for node_id in runtime.component_of(processor.node_id)
+                if runtime.alive(node_id)
             ]
             if list(ring.members) != expected:
                 return False
         # All processors sharing a component must agree on the ring id.
         seen = {}
         for processor in self.live_processors():
-            component = tuple(self.net.component_of(processor.node_id))
+            component = tuple(runtime.component_of(processor.node_id))
             key = processor.installed_ring.key()
             if seen.setdefault(component, key) != key:
                 return False
         return True
 
     def run_until_stable(self, timeout=5.0, step=0.005):
-        """Advance the simulation until :meth:`stable` or ``timeout``.
+        """Advance the runtime until :meth:`stable` or ``timeout``.
 
-        Returns the virtual time at which stability was observed.  Raises
+        Returns the time at which stability was observed.  Raises
         ``TimeoutError`` if the deadline passes first.
         """
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
+        runtime = self.runtime
+        deadline = runtime.now + timeout
+        while runtime.now < deadline:
             if self.stable():
-                return self.sim.now
-            self.sim.run_for(min(step, deadline - self.sim.now))
+                return runtime.now
+            runtime.run_for(min(step, deadline - runtime.now))
         if self.stable():
-            return self.sim.now
+            return runtime.now
         raise TimeoutError(
             "cluster did not stabilize within %.3fs: states=%s"
             % (

@@ -86,7 +86,7 @@ class GroupMember:
         processor.on_config = self._on_config
         # A process crash loses group membership: clear it so the fresh
         # incarnation does not re-announce groups it no longer hosts.
-        processor.node.on_crash(lambda _n: self._on_node_crash())
+        processor.ep.on_crash(lambda _n: self._on_node_crash())
 
     # ------------------------------------------------------------------
     # Public API

@@ -18,6 +18,7 @@ State machine (mirrors the Totem membership protocol's phases):
   transitional and regular configuration events.
 """
 
+from repro.runtime.sim import endpoint_of
 from repro.totem.config import TotemConfig
 from repro.totem.events import (
     DeliveredMessage,
@@ -82,26 +83,28 @@ class TotemProcessor:
     """Totem protocol endpoint on one node.
 
     Args:
-        network: the :class:`~repro.simnet.Network` to run over.
-        node: the :class:`~repro.simnet.Node` hosting this processor.
+        network: a runtime :class:`~repro.runtime.base.Endpoint`, or (the
+            legacy pair form) the :class:`~repro.simnet.Network` to run
+            over with ``node`` as the hosting node.
+        node: the :class:`~repro.simnet.Node` when ``network`` is a
+            simnet Network; None when an endpoint is given.
         config: protocol timers; defaults to :class:`TotemConfig()`.
         on_deliver: callback(:class:`DeliveredMessage`).
         on_config: callback(RegularConfiguration | TransitionalConfiguration).
     """
 
-    def __init__(self, network, node, config=None, on_deliver=None, on_config=None):
-        self.net = network
-        self.sim = network.sim
-        self.node = node
+    def __init__(self, network, node=None, config=None, on_deliver=None,
+                 on_config=None):
+        self.ep = endpoint_of(network, node)
         self.config = config if config is not None else TotemConfig()
         self.on_deliver = on_deliver or (lambda msg: None)
         self.on_config = on_config or (lambda event: None)
-        self.node_id = node.node_id
+        self.node_id = self.ep.node_id
         self.state = "down"
         self._reset_state()
-        node.bind(PORT, self._on_message)
-        node.on_crash(lambda _n: self._on_crash())
-        node.on_recover(lambda _n: self.start())
+        self.ep.bind(PORT, self._on_message)
+        self.ep.on_crash(lambda _n: self._on_crash())
+        self.ep.on_recover(lambda _n: self.start())
 
     # ------------------------------------------------------------------
     # Public API
@@ -110,7 +113,7 @@ class TotemProcessor:
     def start(self):
         """Boot the processor: begin forming a ring."""
         self._reset_state()
-        self.node.bind(PORT, self._on_message)
+        self.ep.bind(PORT, self._on_message)
         self._enter_gather("boot")
 
     def send(self, payload, size=64, guarantee="agreed"):
@@ -235,7 +238,7 @@ class TotemProcessor:
             try:
                 messages = decode_payload(payload)
             except WireFormatError as err:
-                self.sim.emit(
+                self.ep.emit(
                     "totem.wire.error",
                     {"node": self.node_id, "error": str(err)},
                 )
@@ -273,16 +276,16 @@ class TotemProcessor:
         """
         if self.config.wire_codec:
             data = wire_encode(message)
-            self.net.broadcast(self.node_id, PORT, data, size=len(data))
+            self.ep.broadcast(PORT, data, size=len(data))
         else:
-            self.net.broadcast(self.node_id, PORT, message, size=size)
+            self.ep.broadcast(PORT, message, size=size)
 
     def _unicast(self, dst, message, size):
         if self.config.wire_codec:
             data = wire_encode(message)
-            self.net.send(self.node_id, dst, PORT, data, size=len(data))
+            self.ep.send(dst, PORT, data, size=len(data))
         else:
-            self.net.send(self.node_id, dst, PORT, message, size=size)
+            self.ep.send(dst, PORT, message, size=size)
 
     # ------------------------------------------------------------------
     # Operational phase: data messages
@@ -292,7 +295,7 @@ class TotemProcessor:
         if self.state == "operational" and msg.ring == self.ring:
             self._note_progress()
             if self.store.insert(msg):
-                self.sim.emit("totem.data.stored", {"node": self.node_id, "seq": msg.seq})
+                self.ep.emit("totem.data.stored", {"node": self.node_id, "seq": msg.seq})
             self._try_deliver(self.store)
             return
         if self.state == "recovery":
@@ -328,7 +331,7 @@ class TotemProcessor:
                 self.proc_set.add(src)
                 self._membership_changed()
             return
-        self.sim.emit("totem.foreign", {"node": self.node_id, "src": src})
+        self.ep.emit("totem.foreign", {"node": self.node_id, "src": src})
         self._enter_gather("foreign traffic", extra_procs=(src,))
 
     def _try_deliver(self, store, installed=True):
@@ -346,7 +349,7 @@ class TotemProcessor:
             self._deliver(msg, transitional=False)
 
     def _deliver(self, msg, transitional):
-        self.sim.emit("totem.deliver", {"node": self.node_id, "seq": msg.seq})
+        self.ep.emit("totem.deliver", {"node": self.node_id, "seq": msg.seq})
         self.on_deliver(
             DeliveredMessage(
                 msg.sender, msg.payload, msg.size, msg.ring.key(), msg.seq,
@@ -400,10 +403,10 @@ class TotemProcessor:
         if batch:
             data = batch[0] if len(batch) == 1 else encode_batch(batch)
             if len(batch) > 1:
-                self.sim.emit(
+                self.ep.emit(
                     "totem.batch", {"node": self.node_id, "n": len(batch)}, len(data)
                 )
-            self.net.broadcast(self.node_id, PORT, data, size=len(data))
+            self.ep.broadcast(PORT, data, size=len(data))
 
         # 3. Request retransmission of messages we are missing.
         for seq in range(store.my_aru + 1, token.seq + 1):
@@ -438,7 +441,7 @@ class TotemProcessor:
         if successor == self.node_id:
             self._park_singleton_token(ring, snapshot)
         else:
-            self.node.timer(
+            self.ep.timer(
                 self.config.token_hold,
                 lambda: self._unicast(successor, snapshot.copy(), size),
                 "token.forward",
@@ -467,7 +470,7 @@ class TotemProcessor:
                     self._try_deliver(store)
                     store.collect_garbage()
 
-        self.node.timer(self.config.token_hold, flush, "token.singleton.flush")
+        self.ep.timer(self.config.token_hold, flush, "token.singleton.flush")
 
     def _unpark_token(self):
         token = self._parked_token
@@ -476,7 +479,7 @@ class TotemProcessor:
         if len(self.ring.members) != 1:
             return
         self._parked_token = None
-        self.node.timer(0.0, lambda: self._handle_token(self.node_id, token), "token.unpark")
+        self.ep.timer(0.0, lambda: self._handle_token(self.node_id, token), "token.unpark")
 
     def _arm_token_retransmit(self, ring, successor, size):
         if self._retransmit_timer is not None:
@@ -490,13 +493,13 @@ class TotemProcessor:
             if self._token_retransmits >= self.config.token_retransmit_limit:
                 return  # give up; the loss timer will trigger membership
             self._token_retransmits += 1
-            self.sim.emit("totem.token.retransmit", {"node": self.node_id})
+            self.ep.emit("totem.token.retransmit", {"node": self.node_id})
             self._unicast(successor, self._forwarded_token.copy(), size)
-            self._retransmit_timer = self.node.timer(
+            self._retransmit_timer = self.ep.timer(
                 self.config.token_retransmit_timeout, retransmit, "token.retry"
             )
 
-        self._retransmit_timer = self.node.timer(
+        self._retransmit_timer = self.ep.timer(
             self.config.token_retransmit_timeout, retransmit, "token.retry"
         )
 
@@ -507,10 +510,10 @@ class TotemProcessor:
 
         def lost():
             if self.state == "operational" and self.ring == ring:
-                self.sim.emit("totem.token.lost", {"node": self.node_id})
+                self.ep.emit("totem.token.lost", {"node": self.node_id})
                 self._enter_gather("token loss")
 
-        self._loss_timer = self.node.timer(
+        self._loss_timer = self.ep.timer(
             self.config.token_loss_timeout, lost, "token.loss"
         )
 
@@ -547,7 +550,7 @@ class TotemProcessor:
             self._broadcast(RingBeacon(ring, self.node_id), self.config.max_message_bytes)
             self._arm_beacon_timer()
 
-        self._beacon_timer = self.node.timer(
+        self._beacon_timer = self.ep.timer(
             self.config.beacon_interval, beat, "beacon"
         )
 
@@ -558,7 +561,7 @@ class TotemProcessor:
     def _enter_gather(self, reason, extra_procs=()):
         self._cancel_timers()
         self.state = "gather"
-        self.sim.emit("totem.gather", {"node": self.node_id, "reason": reason})
+        self.ep.emit("totem.gather", {"node": self.node_id, "reason": reason})
         self.proc_set = {self.node_id} | set(extra_procs)
         if self.ring is not None:
             # Seed the candidate set with the previous ring's membership:
@@ -599,7 +602,7 @@ class TotemProcessor:
             self._broadcast_join()
             self._arm_join_timer()
 
-        self._join_timer = self.node.timer(self.config.join_interval, periodic, "join")
+        self._join_timer = self.ep.timer(self.config.join_interval, periodic, "join")
 
     def _arm_consensus_timer(self):
         if self._consensus_timer is not None:
@@ -614,7 +617,7 @@ class TotemProcessor:
             ]
             if silent:
                 self.fail_set.update(silent)
-                self.sim.emit(
+                self.ep.emit(
                     "totem.fail_set", {"node": self.node_id, "failed": sorted(silent)}
                 )
                 self._singleton_allowed = True
@@ -625,7 +628,7 @@ class TotemProcessor:
                 self._arm_consensus_timer()
                 self._check_consensus()
 
-        self._consensus_timer = self.node.timer(
+        self._consensus_timer = self.ep.timer(
             self.config.consensus_timeout, deadline, "consensus"
         )
 
@@ -705,7 +708,7 @@ class TotemProcessor:
         self._consensus_fail_set = frozenset(self.fail_set)
         self.state = "commit"
         self._last_commit_hop = {}
-        self.sim.emit(
+        self.ep.emit(
             "totem.consensus",
             {"node": self.node_id, "ring": self.pending_ring.key()},
         )
@@ -741,10 +744,10 @@ class TotemProcessor:
 
         def timeout():
             if self.state in ("commit", "recovery") and self.pending_ring == pending:
-                self.sim.emit("totem.commit.timeout", {"node": self.node_id})
+                self.ep.emit("totem.commit.timeout", {"node": self.node_id})
                 self._enter_gather("commit timeout")
 
-        self._commit_timer = self.node.timer(self.config.commit_timeout, timeout, "commit")
+        self._commit_timer = self.ep.timer(self.config.commit_timeout, timeout, "commit")
 
     def _forward_commit(self, token):
         token.hop += 1
@@ -770,11 +773,11 @@ class TotemProcessor:
                 return
             self._commit_retransmits += 1
             successor, token, size = self._commit_sent
-            self.sim.emit("totem.commit.retransmit", {"node": self.node_id})
+            self.ep.emit("totem.commit.retransmit", {"node": self.node_id})
             self._unicast(successor, token.copy(), size)
             self._arm_commit_retry()
 
-        self._commit_retry_timer = self.node.timer(
+        self._commit_retry_timer = self.ep.timer(
             self.config.token_retransmit_timeout, retry, "commit.retry"
         )
 
@@ -843,7 +846,7 @@ class TotemProcessor:
         self._recovery_infos = dict(commit_token.infos)
         self._recovery_attempts = 0
         self._old_store = self.store
-        self.sim.emit(
+        self.ep.emit(
             "totem.recovery.enter",
             {"node": self.node_id, "ring": self.pending_ring.key()},
         )
@@ -912,11 +915,11 @@ class TotemProcessor:
                 return
             my_key = self._recovery_infos[self.node_id].old_ring_key
             request = RecoveryRequest(my_key, missing, self.node_id)
-            self.sim.emit("totem.recovery.request", {"node": self.node_id, "n": len(missing)})
+            self.ep.emit("totem.recovery.request", {"node": self.node_id, "n": len(missing)})
             self._broadcast(request, self.config.max_message_bytes + 8 * len(missing))
             self._arm_recovery_timer()
 
-        self._recovery_timer = self.node.timer(
+        self._recovery_timer = self.ep.timer(
             self.config.recovery_retry_timeout, retry, "recovery.retry"
         )
 
@@ -976,7 +979,7 @@ class TotemProcessor:
             self._deliver_old_ring(old_store, new_ring, peers)
 
         self.on_config(RegularConfiguration(new_ring.key(), new_ring.members))
-        self.sim.emit(
+        self.ep.emit(
             "totem.install", {"node": self.node_id, "ring": new_ring.key()}
         )
 

@@ -62,7 +62,7 @@ def test_dead_consumer_disconnected_after_failures():
     for _c, ior in consumers:
         wait_for(sim, stub.connect_push_consumer(ior.to_string()))
     # Kill consumer 0's node; pushes to it now time out.
-    client.net.node("consumer-0").crash()
+    client.ep.net.node("consumer-0").crash()
     client_orb_timeout = 0.3
     for orb_node in ("channel",):
         pass

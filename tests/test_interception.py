@@ -51,7 +51,7 @@ def test_rewriting_interceptor_can_alter_requests():
         """Rewrites increment(1) into increment(10) at the wire level."""
 
         def outgoing_request(self, ior, data, request, future):
-            from repro.orb.cdr import decode_value, encode_value
+            from repro.orb.cdr import encode_value
 
             if request.operation == "increment":
                 request.body = encode_value((10,))

@@ -10,7 +10,7 @@ import pytest
 from repro.core import EternalSystem
 from repro.orb import ApplicationError
 from repro.replication import GroupPolicy, ReplicationStyle
-from repro.workloads import BankAccount, Counter
+from repro.workloads import BankAccount
 
 
 STYLES = [

@@ -1,10 +1,9 @@
 """Tests for Totem membership: crashes, recovery, partitions, remerge, EVS."""
 
-import pytest
 
 from repro.simnet import LinkProfile
 from repro.totem import TotemCluster
-from repro.totem.events import RegularConfiguration, TransitionalConfiguration
+from repro.totem.events import TransitionalConfiguration
 
 
 def app_payloads(cluster, node_id):
