@@ -49,12 +49,23 @@ def drive(sim, client, timeout=120.0, step=0.01):
 
 
 def sequential_latencies(runtime, stub, payload, requests, timeout=30.0):
-    """Closed-loop latency measurement driven through the runtime clock."""
+    """Closed-loop latency measurement driven through the runtime clock.
+
+    Each latency is also recorded into the runtime telemetry's
+    ``bench.latency`` histogram, so percentile reporting can come from
+    the shared metrics registry on either runtime.
+    """
+    telemetry = getattr(runtime, "telemetry", None)
+    histogram = (telemetry.metrics.histogram("bench.latency")
+                 if telemetry is not None else None)
     latencies = []
     for _ in range(requests):
         started = runtime.now
         runtime.wait_for(stub.echo(payload), timeout=timeout)
-        latencies.append(runtime.now - started)
+        elapsed = runtime.now - started
+        if histogram is not None:
+            histogram.record(elapsed)
+        latencies.append(elapsed)
     return latencies
 
 

@@ -38,6 +38,7 @@ sys.path.insert(
 from repro.core.eternal import build_node_stack  # noqa: E402
 from repro.replication.styles import GroupPolicy, ReplicationStyle  # noqa: E402
 from repro.runtime.aio import AsyncioRuntime  # noqa: E402
+from repro.telemetry import format_summary  # noqa: E402
 from repro.totem.config import TotemConfig  # noqa: E402
 from repro.workloads import Counter  # noqa: E402
 
@@ -165,6 +166,11 @@ def run_client():
                       [n for n in all_nodes if n != REPLICAS[0]])
         print("[client] survivor ring: %s"
               % list(processor.installed_ring.members))
+        # What did the client runtime observe?  (Spans are partial here:
+        # delivered/executed marks happen in the replica processes.)
+        print("[client] --- telemetry summary ---")
+        for line in format_summary(runtime.telemetry, trace=runtime.trace):
+            print("[client] %s" % line)
         print("PASS: counter continued 1..6 across a primary kill")
         return 0
     finally:

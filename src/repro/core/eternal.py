@@ -78,6 +78,7 @@ class EternalSystem:
         # Simulation-only conveniences (None on real-socket runtimes).
         self.sim = getattr(self.runtime, "sim", None)
         self.net = getattr(self.runtime, "net", None)
+        self.telemetry = getattr(self.runtime, "telemetry", None)
         self.totem_config = totem_config or TotemConfig()
         # Convenience toggles for the repro.wire message path (ablation
         # without building a TotemConfig by hand).

@@ -144,13 +144,18 @@ class HeartbeatFaultDetector:
     def _ping(self, target):
         future = self.orb.invoke(target.ior, "is_alive", (), timeout=0)
         target.pending = future
-        target.deadline = self.ep.now + self.timeout
+        sent = self.ep.now
+        target.deadline = sent + self.timeout
 
         def complete(fut):
             target.pending = None
             if fut.exception() is None and fut.result() is True:
                 target.misses = 0
                 target.last_ok = self.ep.now
+                telemetry = getattr(self.ep, "telemetry", None)
+                if telemetry is not None:
+                    telemetry.metrics.histogram("ftdet.rtt").record(
+                        self.ep.now - sent)
             else:
                 target.misses += 1
                 self.ep.emit("ftdet.miss", {"target": target.name,

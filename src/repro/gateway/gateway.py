@@ -34,6 +34,9 @@ class Gateway:
             raise ValueError("export() requires a group reference")
         object_key = "gateway:%s" % group.group_name
         self.exports[object_key] = group_ior
+        telemetry = getattr(self.ep, "telemetry", None)
+        if telemetry is not None:
+            telemetry.metrics.gauge("gateway.exports").set(len(self.exports))
         profile = IIOPProfile(self.orb.node_id, self.orb.port, object_key)
         return IOR(type_id or group_ior.type_id, [profile])
 
@@ -42,6 +45,9 @@ class Gateway:
         if group_ior is None:
             return False
         self.forwarded += 1
+        telemetry = getattr(self.ep, "telemetry", None)
+        if telemetry is not None:
+            telemetry.metrics.counter("gateway.forwarded").inc()
         self.ep.emit("gateway.forward", {"key": request.object_key,
                                           "op": request.operation})
         args_future = self.orb.invoke(

@@ -53,6 +53,9 @@ class InterceptionPoint:
 
     def send_request(self, ior, request, future):
         data = encode_message(request)
+        self.orb.ep.emit("orb.intercept",
+                         {"op": request.operation, "node": self.orb.node_id},
+                         len(data))
         for interceptor in self.chain:
             outcome = interceptor.outgoing_request(ior, data, request, future)
             if isinstance(outcome, InterceptDiverted) or outcome is DIVERTED:

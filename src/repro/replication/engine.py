@@ -39,6 +39,7 @@ from repro.replication.replica import ExecutionTask, LocalReplica, PendingReques
 from repro.replication.styles import GroupPolicy, ReplicationStyle
 from repro.state.three_tier import FullStateCapture
 from repro.state.transfer import IncrementalAssembler, IncrementalTransfer
+from repro.telemetry import span_id_for_operation
 from repro.wire.framing import WireFormatError
 
 # Envelope kinds shipped over the process-group layer.
@@ -219,7 +220,14 @@ class ReplicationEngine:
             "dest": group,
         }
         data = encode_message(request)
+        # The invocation span opens here -- this is the interception point
+        # where the request left the ORB for the group communication path.
+        span = None
+        telemetry = getattr(self.ep, "telemetry", None)
         if request.response_expected:
+            if telemetry is not None:
+                span = span_id_for_operation(operation_id)
+                telemetry.span_start(span, self.ep.now)
             self.pending[operation_id] = (request.request_id, future)
             self.orb._pending[request.request_id] = future
             self._arm_request_retry(group, client_group, operation_id, data, 0)
@@ -241,6 +249,7 @@ class ReplicationEngine:
             (group, client_group),
             (REQUEST, group, client_group, operation_id, data, False),
             size=len(data) + _ENVELOPE_OVERHEAD,
+            span=span,
         )
 
     # ------------------------------------------------------------------
@@ -349,6 +358,10 @@ class ReplicationEngine:
         if entry is None:
             return False
         request_id, future = entry
+        telemetry = getattr(self.ep, "telemetry", None)
+        if telemetry is not None:
+            telemetry.span_finish(span_id_for_operation(operation_id),
+                                  self.ep.now)
         self.orb.forget_pending(request_id)
         self.orb.resolve_future_from_reply(future, reply)
         return True
@@ -464,6 +477,10 @@ class ReplicationEngine:
             reply_bytes = encode_message(reply)
         replica.complete(operation_id, pending.request_bytes,
                          pending.client_group, reply_bytes)
+        telemetry = getattr(self.ep, "telemetry", None)
+        if telemetry is not None:
+            telemetry.span_mark(span_id_for_operation(operation_id),
+                                "executed", self.ep.now)
         self.ep.emit("ft.op.executed", {"group": replica.group,
                                          "node": self.node_id})
         style = replica.policy.style
@@ -804,6 +821,7 @@ class ReplicationEngine:
             )
         else:
             transfer = IncrementalTransfer(value, replica.policy.chunk_bytes)
+            transfer.stats.started_at = self.ep.now
             for frame in transfer.framed_chunks():
                 self.groups.send(
                     (replica.group,),
@@ -815,6 +833,10 @@ class ReplicationEngine:
                 (STATE_END, replica.group, self.node_id, marker),
                 size=_ENVELOPE_OVERHEAD,
             )
+            transfer.stats.finished_at = self.ep.now
+            telemetry = getattr(self.ep, "telemetry", None)
+            if telemetry is not None:
+                transfer.stats.record_to(telemetry.metrics)
             done()
 
     # ------------------------------------------------------------------

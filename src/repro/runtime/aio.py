@@ -25,6 +25,7 @@ from repro.runtime.base import Endpoint, Runtime
 from repro.simnet.errors import UnknownNodeError
 from repro.simnet.rng import RngStreams
 from repro.simnet.trace import TraceLog
+from repro.telemetry import Telemetry
 
 _MAX_PORT_NAME = 255
 
@@ -111,6 +112,10 @@ class AsyncioEndpoint(Endpoint):
 
     def emit(self, category, detail=None, size=0):
         self.runtime.emit(category, detail, size)
+
+    @property
+    def telemetry(self):
+        return self.runtime.telemetry
 
     # -- lifecycle ------------------------------------------------------
 
@@ -204,6 +209,7 @@ class AsyncioRuntime(Runtime):
         self._owns_loop = loop is None
         self.host = host
         self.trace = TraceLog()
+        self.telemetry = Telemetry(self.trace)
         self.rng = RngStreams(seed)
         self.endpoints = {}
         self._addresses = {}   # node id -> (host, port), local and remote

@@ -42,7 +42,14 @@ class Endpoint:
     - ``timer(delay, callback, label="")``: arm an incarnation-guarded
       one-shot timer; returns a handle with ``cancel()``.
     - ``emit(category, detail=None, size=0)``: bump the shared trace
-      counters (and byte counters when ``size`` is given).
+      counters (and byte counters when ``size`` is given).  Categories
+      are typed: every string used here must be registered in
+      :mod:`repro.telemetry.events` (enforced by the registry lint test).
+    - ``telemetry``: the runtime's shared
+      :class:`~repro.telemetry.Telemetry` bundle (metrics registry, span
+      tracker, flight recorder), or None on minimal endpoints.  Protocol
+      cores must tolerate its absence
+      (``getattr(self.ep, "telemetry", None)``).
     - ``bind(port, handler)`` / ``unbind(port)``: attach
       ``handler(src_id, payload, size)`` to a named datagram port.
     - ``send(dst, port, data, size=None)``: unicast a datagram.
@@ -53,6 +60,7 @@ class Endpoint:
     """
 
     node_id = None
+    telemetry = None
 
     def __repr__(self):
         return "%s(%s)" % (type(self).__name__, self.node_id)
@@ -64,6 +72,8 @@ class Runtime:
     Concrete runtimes provide:
 
     - ``trace``: the shared :class:`~repro.simnet.trace.TraceLog`.
+    - ``telemetry``: the shared :class:`~repro.telemetry.Telemetry`
+      (one per runtime; endpoints expose the same object).
     - ``now`` (property): current time in seconds.
     - ``add_node(node_id)``: create and register an :class:`Endpoint`.
     - ``endpoint(node_id)``: look up a registered endpoint.
@@ -80,6 +90,7 @@ class Runtime:
     """
 
     trace = None
+    telemetry = None
 
     def emit(self, category, detail=None, size=0):
         self.trace.emit(self.now, category, detail, size)

@@ -63,6 +63,10 @@ class SimEndpoint(Endpoint):
     def emit(self, category, detail=None, size=0):
         self.sim.emit(category, detail, size)
 
+    @property
+    def telemetry(self):
+        return self.sim.telemetry
+
     # -- datagram I/O ---------------------------------------------------
 
     def bind(self, port, handler):
@@ -117,6 +121,10 @@ class SimRuntime(Runtime):
     @property
     def trace(self):
         return self.sim.trace
+
+    @property
+    def telemetry(self):
+        return self.sim.telemetry
 
     @property
     def now(self):

@@ -8,15 +8,17 @@ touches wall-clock time or the global :mod:`random` state.
 from repro.simnet.rng import RngStreams
 from repro.simnet.scheduler import EventScheduler
 from repro.simnet.trace import TraceLog
+from repro.telemetry import Telemetry
 
 
 class Simulator:
     """Deterministic simulation context shared by every layer of the stack."""
 
-    def __init__(self, seed=0, keep_trace_records=False):
+    def __init__(self, seed=0, keep_trace_records=False, strict_trace=False):
         self.scheduler = EventScheduler()
         self.rng = RngStreams(seed)
-        self.trace = TraceLog(keep_records=keep_trace_records)
+        self.trace = TraceLog(keep_records=keep_trace_records, strict=strict_trace)
+        self.telemetry = Telemetry(self.trace)
         self.seed = seed
 
     @property

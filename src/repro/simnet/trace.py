@@ -3,9 +3,17 @@
 Benchmarks use the counters (messages / bytes by category) to report the
 message-count columns in EXPERIMENTS.md; tests use the record list to assert
 on protocol behaviour without reaching into protocol internals.
+
+Every ``emit()`` from every layer funnels through one TraceLog, which makes
+it the natural tap point for the telemetry subsystem: sinks registered via
+:meth:`TraceLog.add_sink` (the flight recorder is one) observe every event,
+and ``strict=True`` validates each emission against the typed category
+registry in :mod:`repro.telemetry.events`.
 """
 
 from collections import Counter
+
+from repro.telemetry.events import validate as _validate_category
 
 
 class TraceRecord:
@@ -22,6 +30,49 @@ class TraceRecord:
         return "TraceRecord(t=%.6f, %s, %r)" % (self.time, self.category, self.detail)
 
 
+class TraceSnapshot(Counter):
+    """Frozen view of a TraceLog's counters that also carries byte counts.
+
+    Indexing and arithmetic behave exactly like the Counter the benchmarks
+    already diff (binary ops return plain Counters); equality additionally
+    compares the byte counters, so two same-seed runs only compare equal
+    when their traffic volume matches too.
+    """
+
+    # Counter.copy() invokes self.__class__(self), so the extra argument
+    # must stay optional.
+    def __init__(self, counts=(), byte_counts=None):
+        super().__init__(counts)
+        self.byte_counters = Counter(
+            byte_counts if byte_counts is not None
+            else getattr(counts, "byte_counters", ()))
+
+    def bytes(self, category):
+        """Total bytes attributed to a category at snapshot time."""
+        return self.byte_counters[category]
+
+    def __eq__(self, other):
+        counts_equal = Counter.__eq__(self, other)
+        if counts_equal is NotImplemented:
+            return NotImplemented
+        if not counts_equal:
+            return False
+        other_bytes = getattr(other, "byte_counters", None)
+        return other_bytes is None or self.byte_counters == other_bytes
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        if equal is NotImplemented:
+            return NotImplemented
+        return not equal
+
+    __hash__ = None
+
+    def __repr__(self):
+        return "TraceSnapshot(%d categories, %d bytes)" % (
+            len(self), sum(self.byte_counters.values()))
+
+
 class TraceLog:
     """Collects trace records and per-category counters.
 
@@ -29,19 +80,33 @@ class TraceLog:
     long benchmark runs would otherwise hold millions of records.
     """
 
-    def __init__(self, keep_records=False):
+    def __init__(self, keep_records=False, strict=False):
         self.keep_records = keep_records
+        self.strict = strict
         self.records = []
         self.counters = Counter()
         self.byte_counters = Counter()
+        self._sinks = []
+
+    def add_sink(self, sink):
+        """Subscribe ``sink(time, category, detail, size)`` to every emit."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        self._sinks.remove(sink)
 
     def emit(self, time, category, detail=None, size=0):
-        """Record one event: bump counters, optionally append the record."""
+        """Record one event: bump counters, notify sinks, keep the record."""
+        if self.strict:
+            _validate_category(category, detail)
         self.counters[category] += 1
         if size:
             self.byte_counters[category] += size
         if self.keep_records:
             self.records.append(TraceRecord(time, category, detail or {}))
+        for sink in self._sinks:
+            sink(time, category, detail, size)
 
     def count(self, category):
         """Occurrences of a category so far."""
@@ -56,8 +121,8 @@ class TraceLog:
         return [r for r in self.records if r.category == category]
 
     def snapshot(self):
-        """Immutable copy of the counters, for before/after deltas."""
-        return Counter(self.counters)
+        """Immutable copy of the counters (bytes included), for deltas."""
+        return TraceSnapshot(self.counters, self.byte_counters)
 
     def reset_counters(self):
         """Zero all counters (records are kept)."""

@@ -118,6 +118,19 @@ class TransferStats:
             return None
         return self.finished_at - self.started_at
 
+    def record_to(self, metrics, prefix="ft.state.transfer"):
+        """Publish this transfer's accounting into a metrics registry.
+
+        Bumps ``<prefix>.count``/``.chunks``, adds the byte volume to the
+        ``<prefix>.bytes`` gauge, and records the duration (when both
+        timestamps were stamped) in the ``<prefix>.duration`` histogram.
+        """
+        metrics.counter(prefix + ".count").inc()
+        metrics.counter(prefix + ".chunks").inc(self.chunks)
+        metrics.gauge(prefix + ".bytes").add(self.total_bytes)
+        if self.duration is not None:
+            metrics.histogram(prefix + ".duration").record(self.duration)
+
     def __repr__(self):
         return "TransferStats(chunks=%d, images=%d, bytes=%d)" % (
             self.chunks, self.images, self.total_bytes,

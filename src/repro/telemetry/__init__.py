@@ -1,0 +1,144 @@
+"""repro.telemetry: typed events, metrics, spans, and the flight recorder.
+
+The observability spine of the stack.  One :class:`Telemetry` instance
+lives on each runtime (``runtime.telemetry``; endpoints expose the same
+object as ``endpoint.telemetry``) and bundles:
+
+- the **event taxonomy** (:mod:`repro.telemetry.events`): the registry
+  of every trace category with its expected detail keys;
+- the **metrics registry** (:mod:`repro.telemetry.metrics`): counters,
+  gauges, and fixed-bucket histograms with p50/p95/p99, shared by the
+  simulated and real-socket runtimes;
+- the **span tracker** (:mod:`repro.telemetry.spans`): per-layer
+  latency breakdown of replicated invocations;
+- the **flight recorder** (:mod:`repro.telemetry.recorder`): a bounded
+  ring buffer of recent events with deterministic JSONL export.
+
+The package is a leaf: it imports nothing from the protocol stack, so
+every layer (including :mod:`repro.simnet`) may depend on it freely.
+"""
+
+from repro.telemetry.events import (
+    SPAN_POINTS,
+    is_registered,
+    register_category,
+    registered_categories,
+    validate,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.spans import (
+    LAYER_INTERVALS,
+    SpanTracker,
+    span_id_for_operation,
+)
+
+
+class Telemetry:
+    """Per-runtime bundle of metrics, spans, and the flight recorder.
+
+    When given the runtime's :class:`~repro.simnet.trace.TraceLog`, the
+    flight recorder is subscribed as a sink, so every ``emit()`` from
+    every layer lands in the ring buffer without any call-site changes.
+    """
+
+    def __init__(self, trace=None, recorder_capacity=4096, span_retain=1024):
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracker(retain=span_retain)
+        self.recorder = FlightRecorder(capacity=recorder_capacity)
+        self.trace = trace
+        if trace is not None:
+            trace.add_sink(self.recorder.record)
+
+    # -- span conveniences (the engine and Totem core call these) -------
+
+    def span_start(self, span_id, time):
+        return self.spans.start(span_id, time)
+
+    def span_mark(self, span_id, point, time):
+        return self.spans.mark(span_id, point, time)
+
+    def span_finish(self, span_id, time):
+        return self.spans.finish(span_id, time)
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self):
+        """A JSON-friendly overview of everything collected so far."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": {
+                "open": len(self.spans.open),
+                "finished": len(self.spans.finished),
+                "complete": len(self.spans.complete_spans()),
+            },
+            "recorder": {
+                "buffered": len(self.recorder),
+                "recorded": self.recorder.recorded,
+            },
+        }
+
+    def __repr__(self):
+        return "Telemetry(metrics=%d, spans=%d open/%d done, recorder=%d)" % (
+            len(self.metrics.names()), len(self.spans.open),
+            len(self.spans.finished), len(self.recorder),
+        )
+
+
+def format_summary(telemetry, trace=None, top=12):
+    """Render a short human-readable telemetry summary (list of lines).
+
+    Used by ``examples/live_demo.py`` on exit and handy in any script:
+    top trace categories by count, non-histogram metrics, histogram
+    percentiles, and span/recorder totals.
+    """
+    lines = ["telemetry summary"]
+    trace = trace if trace is not None else telemetry.trace
+    if trace is not None and trace.counters:
+        lines.append("  events (top %d of %d categories):"
+                     % (min(top, len(trace.counters)), len(trace.counters)))
+        ranked = sorted(trace.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, count in ranked[:top]:
+            byte_count = trace.byte_counters.get(name, 0)
+            suffix = (" (%d B)" % byte_count) if byte_count else ""
+            lines.append("    %-32s %8d%s" % (name, count, suffix))
+    snapshot = telemetry.metrics.snapshot()
+    if snapshot:
+        lines.append("  metrics:")
+        for name in sorted(snapshot):
+            metric = telemetry.metrics.get(name)
+            if isinstance(metric, HistogramMetric) and metric.total:
+                lines.append(
+                    "    %-32s n=%d p50=%.6fs p95=%.6fs p99=%.6fs"
+                    % (name, metric.total, metric.p50, metric.p95, metric.p99))
+            elif not isinstance(metric, HistogramMetric):
+                lines.append("    %-32s %r" % (name, snapshot[name]))
+    complete = telemetry.spans.complete_spans()
+    lines.append("  spans: %d complete, %d open, %d finished"
+                 % (len(complete), len(telemetry.spans.open),
+                    len(telemetry.spans.finished)))
+    lines.append("  flight recorder: %d buffered of %d recorded"
+                 % (len(telemetry.recorder), telemetry.recorder.recorded))
+    return lines
+
+
+__all__ = [
+    "Telemetry",
+    "format_summary",
+    "MetricsRegistry",
+    "HistogramMetric",
+    "DEFAULT_LATENCY_BOUNDS",
+    "SpanTracker",
+    "FlightRecorder",
+    "LAYER_INTERVALS",
+    "SPAN_POINTS",
+    "span_id_for_operation",
+    "register_category",
+    "registered_categories",
+    "is_registered",
+    "validate",
+]

@@ -1,0 +1,212 @@
+"""Counters, gauges, and fixed-bucket histograms with percentiles.
+
+One :class:`MetricsRegistry` lives on each runtime's
+:class:`~repro.telemetry.Telemetry`, shared by every layer of the stack
+running on that runtime -- the simulated and real-socket runtimes expose
+the identical objects, so benchmark code reads p50/p95/p99 from the same
+histograms regardless of the substrate.
+
+Everything here is deterministic: histogram buckets are fixed at
+construction, recording order does not affect any reported value, and
+snapshots sort their keys -- two same-seed simulation runs produce
+byte-identical metric snapshots (asserted by the telemetry determinism
+test).
+"""
+
+import math
+
+#: Default latency bucket upper bounds, seconds: 1us .. 60s, roughly
+#: geometric.  The overflow bucket (> last bound) is implicit.
+DEFAULT_LATENCY_BOUNDS = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1,
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile on an already-sorted sample."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(math.ceil(fraction * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+        return self.value
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class GaugeMetric:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def add(self, delta):
+        self.value += delta
+        return self.value
+
+    def __repr__(self):
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+class HistogramMetric:
+    """Fixed-bucket histogram that also retains a bounded raw sample.
+
+    Bucket counts are the deterministic, comparison-friendly view (the
+    determinism test asserts they are identical across same-seed runs);
+    the retained samples give exact nearest-rank percentiles for
+    benchmark tables.  When more than ``sample_limit`` values are
+    recorded, the earliest samples are kept (deterministic, no
+    reservoir randomness) and percentiles become estimates over that
+    prefix; bucket counts always cover every recorded value.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum",
+                 "minimum", "maximum", "sample_limit", "_samples")
+
+    def __init__(self, name, bounds=None, sample_limit=4096):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.sample_limit = sample_limit
+        self._samples = []
+
+    def record(self, value):
+        index = self._bucket_index(value)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self._samples) < self.sample_limit:
+            self._samples.append(value)
+
+    def _bucket_index(self, value):
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self):
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_counts(self):
+        """(upper_bound, count) pairs; the final bound is ``inf``."""
+        bounds = self.bounds + (math.inf,)
+        return tuple(zip(bounds, self.counts))
+
+    def percentile(self, fraction):
+        """Nearest-rank percentile over the retained samples."""
+        return percentile(sorted(self._samples), fraction)
+
+    @property
+    def p50(self):
+        return self.percentile(0.50)
+
+    @property
+    def p95(self):
+        return self.percentile(0.95)
+
+    @property
+    def p99(self):
+        return self.percentile(0.99)
+
+    def snapshot(self):
+        """A JSON-friendly, deterministic summary."""
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": [[bound if bound != math.inf else "inf", count]
+                        for bound, count in self.bucket_counts()],
+        }
+
+    def __repr__(self):
+        return "Histogram(%s, n=%d)" % (self.name, self.total)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def counter(self, name):
+        return self._get(name, CounterMetric, lambda: CounterMetric(name))
+
+    def gauge(self, name):
+        return self._get(name, GaugeMetric, lambda: GaugeMetric(name))
+
+    def histogram(self, name, bounds=None):
+        return self._get(
+            name, HistogramMetric, lambda: HistogramMetric(name, bounds=bounds)
+        )
+
+    def _get(self, name, expected_type, build):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = build()
+            self._metrics[name] = metric
+        elif type(metric) is not expected_type:
+            raise TypeError(
+                "metric %r already registered as %s"
+                % (name, type(metric).__name__))
+        return metric
+
+    def get(self, name):
+        """Look up a metric without creating it; None when absent."""
+        return self._metrics.get(name)
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def snapshot(self):
+        """Deterministic name-sorted summary of every metric."""
+        result = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, HistogramMetric):
+                result[name] = metric.snapshot()
+            else:
+                result[name] = metric.value
+        return result

@@ -1,0 +1,81 @@
+"""The flight recorder: a bounded ring buffer of recent typed events.
+
+The recorder subscribes to the runtime's
+:class:`~repro.simnet.trace.TraceLog` (every layer's ``emit()`` funnels
+there) and keeps the last ``capacity`` events.  On a crash, a failed
+assertion, or plain demand it exports the buffer as JSONL -- one event
+per line, keys sorted, separators fixed -- so two same-seed simulation
+runs export byte-identical files (asserted by the determinism test),
+and a diff of two recordings is a diff of behaviour.
+"""
+
+import json
+from collections import deque
+
+
+def jsonable(value):
+    """Deterministically coerce a detail value into JSON-safe form.
+
+    Tuples become lists, sets become repr-sorted lists, and anything
+    non-JSON (objects, bytes) becomes its ``repr``; the mapping is pure
+    so identical inputs always serialize identically.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return repr(bytes(value))
+    if isinstance(value, dict):
+        return {str(key): jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return [jsonable(item) for item in sorted(value, key=repr)]
+    return repr(value)
+
+
+class FlightRecorder:
+    """Last-N event buffer with deterministic JSONL export."""
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self.events = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, time, category, detail=None, size=0):
+        self.recorded += 1
+        self.events.append((time, category, detail or {}, size))
+
+    def __len__(self):
+        return len(self.events)
+
+    def export_lines(self):
+        """The buffered events as JSON strings, oldest first."""
+        lines = []
+        for time, category, detail, size in self.events:
+            lines.append(json.dumps(
+                {
+                    "t": round(time, 9),
+                    "category": category,
+                    "detail": jsonable(detail),
+                    "size": size,
+                },
+                sort_keys=True, separators=(",", ":"),
+            ))
+        return lines
+
+    def export_jsonl(self):
+        """One JSON object per line; byte-identical across same-seed runs."""
+        lines = self.export_lines()
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump(self, path):
+        """Write the JSONL export to ``path``; returns the event count."""
+        with open(path, "w") as handle:
+            handle.write(self.export_jsonl())
+        return len(self.events)
+
+    def clear(self):
+        self.events.clear()
+
+    def __repr__(self):
+        return "FlightRecorder(%d/%d events)" % (len(self.events), self.capacity)

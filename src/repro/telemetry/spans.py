@@ -1,0 +1,146 @@
+"""Cross-layer invocation spans: where one replicated call spends its time.
+
+A span id is minted at the interception point (the replication engine's
+``send_group_request``) and derived deterministically from the operation
+identifier, so every replica of the invoker -- and every node the
+request passes through -- names the same span without coordination.
+The id travels in the Totem :class:`~repro.totem.messages.DataMessage`
+wire format, so the ordering and framing layers can stamp their marks
+on real delivered bytes, not on in-process shortcuts.
+
+Mark points (:data:`~repro.telemetry.events.SPAN_POINTS`), in causal
+order, and the layer attributed to each consecutive interval:
+
+======================  =============================================
+interval                 layer
+======================  =============================================
+intercept -> enqueue     interception (divert + envelope + encode)
+enqueue   -> sent        totem (token wait + ordering)
+sent      -> delivered   wire (framing + network transit)
+delivered -> executed    replication (suppression tables + dispatch)
+executed  -> reply       runtime (reply multicast, resolve future)
+======================  =============================================
+
+Marks are first-occurrence-wins: several replicas deliver and execute
+the same operation, and the span records the earliest time each point
+was reached anywhere on the shared runtime.  Under the simulated
+runtime some intervals are legitimately zero (synchronous stages take
+no virtual time); under the real-socket runtime every stage has a
+wall-clock cost.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.telemetry.events import SPAN_POINTS
+
+#: layer name -> (from_point, to_point)
+LAYER_INTERVALS = (
+    ("interception", "intercept", "enqueue"),
+    ("totem", "enqueue", "sent"),
+    ("wire", "sent", "delivered"),
+    ("replication", "delivered", "executed"),
+    ("runtime", "executed", "reply"),
+)
+
+
+def span_id_for_operation(operation_id):
+    """The deterministic span id of one logical operation."""
+    return "op:%r" % (operation_id,)
+
+
+class Span:
+    """One invocation's mark points (first occurrence per point)."""
+
+    __slots__ = ("span_id", "marks")
+
+    def __init__(self, span_id):
+        self.span_id = span_id
+        self.marks = {}
+
+    def mark(self, point, time):
+        if point not in self.marks:
+            self.marks[point] = time
+
+    @property
+    def complete(self):
+        return all(point in self.marks for point in SPAN_POINTS)
+
+    def duration(self):
+        """End-to-end time, or None while the span is open."""
+        if "intercept" in self.marks and "reply" in self.marks:
+            return self.marks["reply"] - self.marks["intercept"]
+        return None
+
+    def layers(self):
+        """Per-layer durations for a complete span."""
+        return {
+            layer: self.marks[end] - self.marks[start]
+            for layer, start, end in LAYER_INTERVALS
+        }
+
+    def __repr__(self):
+        return "Span(%s, marks=%d)" % (self.span_id, len(self.marks))
+
+
+class SpanTracker:
+    """Tracks open spans and retains a bounded list of finished ones."""
+
+    def __init__(self, retain=1024):
+        self.retain = retain
+        self.open = {}
+        self.finished = []
+        self.dropped = 0
+
+    def start(self, span_id, time):
+        """Open a span (idempotent) and stamp its ``intercept`` point."""
+        span = self.open.get(span_id)
+        if span is None:
+            span = Span(span_id)
+            self.open[span_id] = span
+        span.mark("intercept", time)
+        return span
+
+    def mark(self, span_id, point, time):
+        """Stamp a point on an open span; unknown spans are ignored.
+
+        Ignoring unknown ids keeps remote marks harmless: a node that
+        did not intercept the invocation (so never opened the span) can
+        still call mark() from its delivery path without creating
+        orphan spans on its own tracker.
+        """
+        if point not in SPAN_POINTS:
+            raise ValueError("unknown span point %r" % (point,))
+        span = self.open.get(span_id)
+        if span is not None:
+            span.mark(point, time)
+        return span
+
+    def finish(self, span_id, time):
+        """Stamp ``reply`` and move the span to the finished list."""
+        span = self.open.pop(span_id, None)
+        if span is None:
+            return None
+        span.mark("reply", time)
+        if len(self.finished) < self.retain:
+            self.finished.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def complete_spans(self):
+        """Finished spans that reached every mark point."""
+        return [span for span in self.finished if span.complete]
+
+    def layer_durations(self):
+        """{layer: [seconds, ...]} over every complete finished span."""
+        result = {layer: [] for layer, _s, _e in LAYER_INTERVALS}
+        for span in self.complete_spans():
+            for layer, duration in span.layers().items():
+                result[layer].append(duration)
+        return result
+
+    def end_to_end_durations(self):
+        return [span.duration() for span in self.complete_spans()]
+
+    def __repr__(self):
+        return "SpanTracker(open=%d, finished=%d)" % (
+            len(self.open), len(self.finished),
+        )

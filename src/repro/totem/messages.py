@@ -85,14 +85,20 @@ class DataMessage:
     """A regular multicast message sequenced on a ring.
 
     ``guarantee`` is ``"agreed"`` or ``"safe"``; ``retransmit`` marks copies
-    re-broadcast in answer to a retransmission request.  On the wire the
-    body is padded to the declared application payload ``size``, so the
-    encoded frame length models a real payload of that many bytes.
+    re-broadcast in answer to a retransmission request.  ``span`` is the
+    optional telemetry span id of the invocation this message carries
+    (None for protocol-internal traffic); it travels on the wire so the
+    receiving side stamps its ``delivered`` mark on real decoded bytes.
+    On the wire the body is padded to the declared application payload
+    ``size``, so the encoded frame length models a real payload of that
+    many bytes.
     """
 
-    __slots__ = ("ring", "seq", "sender", "payload", "size", "guarantee", "retransmit")
+    __slots__ = ("ring", "seq", "sender", "payload", "size", "guarantee",
+                 "retransmit", "span")
 
-    def __init__(self, ring, seq, sender, payload, size, guarantee, retransmit=False):
+    def __init__(self, ring, seq, sender, payload, size, guarantee,
+                 retransmit=False, span=None):
         self.ring = ring
         self.seq = seq
         self.sender = sender
@@ -100,11 +106,12 @@ class DataMessage:
         self.size = size
         self.guarantee = guarantee
         self.retransmit = retransmit
+        self.span = span
 
     def copy_for_retransmit(self):
         return DataMessage(
             self.ring, self.seq, self.sender, self.payload, self.size,
-            self.guarantee, retransmit=True,
+            self.guarantee, retransmit=True, span=self.span,
         )
 
     def encode_wire(self, enc):
@@ -112,6 +119,9 @@ class DataMessage:
         enc.ulong(self.seq).string(self.sender)
         enc.octet(_GUARANTEE_CODE[self.guarantee])
         enc.octet(1 if self.retransmit else 0)
+        enc.octet(1 if self.span is not None else 0)
+        if self.span is not None:
+            enc.string(self.span)
         enc.ulong(self.size)
         body_start = len(enc.getvalue())
         enc.value(self.payload)
@@ -125,12 +135,14 @@ class DataMessage:
         sender = dec.string()
         guarantee = _GUARANTEE_NAME[dec.octet()]
         retransmit = bool(dec.octet())
+        span = dec.string() if dec.octet() else None
         size = dec.ulong()
         before = dec.remaining()
         payload = dec.value()
         encoded = before - dec.remaining()
         dec.skip(max(0, size - encoded))
-        return cls(ring, seq, sender, payload, size, guarantee, retransmit)
+        return cls(ring, seq, sender, payload, size, guarantee, retransmit,
+                   span=span)
 
     __eq__ = _slots_eq
 

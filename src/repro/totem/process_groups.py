@@ -106,16 +106,19 @@ class GroupMember:
         self.my_groups.discard(group)
         self._announce()
 
-    def send(self, groups, payload, size=64, guarantee="agreed"):
+    def send(self, groups, payload, size=64, guarantee="agreed", span=None):
         """Multicast ``payload`` to one or more named groups.
 
         The sender need not be a member of the destination groups.  Delivery
-        respects the system-wide total order across all groups.
+        respects the system-wide total order across all groups.  ``span``
+        is passed through to :meth:`TotemProcessor.send` for cross-layer
+        invocation spans.
         """
         if isinstance(groups, str):
             groups = (groups,)
         self.processor.send(
-            ("app", tuple(groups), payload), size=size, guarantee=guarantee
+            ("app", tuple(groups), payload), size=size, guarantee=guarantee,
+            span=span,
         )
 
     def cancel_queued(self, predicate):

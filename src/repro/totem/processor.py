@@ -116,16 +116,23 @@ class TotemProcessor:
         self.ep.bind(PORT, self._on_message)
         self._enter_gather("boot")
 
-    def send(self, payload, size=64, guarantee="agreed"):
+    def send(self, payload, size=64, guarantee="agreed", span=None):
         """Queue ``payload`` for totally-ordered multicast.
 
         Messages are broadcast at the next token visit (or, if a membership
         change is in progress, on the next installed ring).  ``guarantee``
-        selects agreed or safe delivery.
+        selects agreed or safe delivery.  ``span`` optionally names the
+        telemetry span of the invocation this message carries; the span's
+        ``enqueue`` point is stamped here and the id rides the wire so
+        ``sent``/``delivered`` are stamped where those events happen.
         """
         if guarantee not in ("agreed", "safe"):
             raise ValueError("guarantee must be 'agreed' or 'safe'")
-        self.send_queue.append((payload, size, guarantee))
+        self.send_queue.append((payload, size, guarantee, span))
+        if span is not None:
+            telemetry = getattr(self.ep, "telemetry", None)
+            if telemetry is not None:
+                telemetry.span_mark(span, "enqueue", self.ep.now)
         self._unpark_token()
 
     def cancel_queued(self, predicate):
@@ -349,6 +356,10 @@ class TotemProcessor:
             self._deliver(msg, transitional=False)
 
     def _deliver(self, msg, transitional):
+        if msg.span is not None:
+            telemetry = getattr(self.ep, "telemetry", None)
+            if telemetry is not None:
+                telemetry.span_mark(msg.span, "delivered", self.ep.now)
         self.ep.emit("totem.deliver", {"node": self.node_id, "seq": msg.seq})
         self.on_deliver(
             DeliveredMessage(
@@ -391,10 +402,14 @@ class TotemProcessor:
         # instead of `sent` of each, bounded by the flow-control window.
         sent = 0
         batch = []
+        telemetry = getattr(self.ep, "telemetry", None)
         while self.send_queue and sent < config.window:
-            payload, size, guarantee = self.send_queue.pop(0)
+            payload, size, guarantee, span = self.send_queue.pop(0)
             token.seq += 1
-            msg = DataMessage(self.ring, token.seq, self.node_id, payload, size, guarantee)
+            msg = DataMessage(self.ring, token.seq, self.node_id, payload, size,
+                              guarantee, span=span)
+            if span is not None and telemetry is not None:
+                telemetry.span_mark(span, "sent", self.ep.now)
             if config.wire_codec and config.batching:
                 batch.append(wire_encode(msg))
             else:

@@ -24,11 +24,11 @@ def test_request_retry_recovers_a_dropped_send():
     real_send = engine.groups.send
     dropped = {"count": 0}
 
-    def lossy_send(groups, payload, size=64, guarantee="agreed"):
+    def lossy_send(groups, payload, size=64, guarantee="agreed", **kwargs):
         if payload[0] == "ft-request" and dropped["count"] == 0:
             dropped["count"] += 1
             return  # swallow the first request silently
-        real_send(groups, payload, size=size, guarantee=guarantee)
+        real_send(groups, payload, size=size, guarantee=guarantee, **kwargs)
 
     engine.groups.send = lossy_send
     stub = system.stub("n3", ior)

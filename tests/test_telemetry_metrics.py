@@ -1,0 +1,194 @@
+"""Unit tests for repro.telemetry: metrics, spans, recorder, trace sinks."""
+
+import math
+
+import pytest
+
+from repro.simnet.trace import TraceLog, TraceSnapshot
+from repro.telemetry import (
+    FlightRecorder,
+    LAYER_INTERVALS,
+    MetricsRegistry,
+    SpanTracker,
+    Telemetry,
+    format_summary,
+    span_id_for_operation,
+)
+from repro.telemetry.metrics import HistogramMetric, percentile
+from repro.telemetry.recorder import jsonable
+
+
+# ---------------------------------------------------------------- metrics
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.counter("a").inc(4)
+    registry.gauge("b").set(3)
+    registry.gauge("b").add(-1)
+    assert registry.snapshot() == {"a": 5, "b": 2}
+
+
+def test_registry_rejects_type_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_histogram_buckets_and_percentiles():
+    histogram = HistogramMetric("lat", bounds=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.003, 0.05, 5.0):
+        histogram.record(value)
+    assert histogram.total == 5
+    assert [count for _b, count in histogram.bucket_counts()] == [1, 2, 1, 1]
+    assert histogram.bucket_counts()[-1][0] == math.inf
+    assert histogram.minimum == 0.0005 and histogram.maximum == 5.0
+    assert histogram.p50 == 0.003
+    assert histogram.p99 == 5.0
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 5
+    assert snapshot["buckets"][-1][0] == "inf"
+
+
+def test_histogram_sample_limit_keeps_prefix_deterministically():
+    histogram = HistogramMetric("lat", bounds=(1.0,), sample_limit=3)
+    for value in (1, 2, 3, 4, 5):
+        histogram.record(value)
+    assert histogram.total == 5          # buckets cover everything
+    assert histogram._samples == [1, 2, 3]  # keep-first, no randomness
+
+
+def test_percentile_is_nearest_rank():
+    assert percentile([1, 2, 3, 4], 0.5) == 2
+    assert percentile([1, 2, 3, 4], 0.95) == 4
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+# ------------------------------------------------------------------ spans
+
+def test_span_lifecycle_and_layer_attribution():
+    tracker = SpanTracker()
+    span_id = span_id_for_operation(("c", "client/n1", 1))
+    tracker.start(span_id, 1.0)
+    tracker.mark(span_id, "enqueue", 1.5)
+    tracker.mark(span_id, "sent", 2.0)
+    tracker.mark(span_id, "delivered", 3.0)
+    tracker.mark(span_id, "executed", 3.25)
+    span = tracker.finish(span_id, 4.0)
+    assert span.complete and span.duration() == 3.0
+    layers = span.layers()
+    assert layers == {"interception": 0.5, "totem": 0.5, "wire": 1.0,
+                      "replication": 0.25, "runtime": 0.75}
+    assert sum(layers.values()) == span.duration()
+    assert tracker.layer_durations()["wire"] == [1.0]
+
+
+def test_span_marks_are_first_occurrence_wins():
+    tracker = SpanTracker()
+    tracker.start("s", 1.0)
+    tracker.mark("s", "delivered", 2.0)
+    tracker.mark("s", "delivered", 5.0)  # a later replica's delivery
+    assert tracker.open["s"].marks["delivered"] == 2.0
+    tracker.start("s", 9.0)  # idempotent re-start keeps the first intercept
+    assert tracker.open["s"].marks["intercept"] == 1.0
+
+
+def test_span_unknown_ids_and_points():
+    tracker = SpanTracker()
+    assert tracker.mark("never-started", "delivered", 1.0) is None
+    assert tracker.finish("never-started", 1.0) is None
+    with pytest.raises(ValueError):
+        tracker.mark("x", "not-a-point", 1.0)
+
+
+def test_span_retention_is_bounded():
+    tracker = SpanTracker(retain=2)
+    for index in range(4):
+        tracker.start("s%d" % index, float(index))
+        tracker.finish("s%d" % index, float(index) + 1.0)
+    assert len(tracker.finished) == 2 and tracker.dropped == 2
+
+
+def test_layer_intervals_tile_the_span_points():
+    points = ["intercept"]
+    for _layer, start, end in LAYER_INTERVALS:
+        assert start == points[-1]
+        points.append(end)
+    assert points[-1] == "reply"
+
+
+# --------------------------------------------------------------- recorder
+
+def test_recorder_ring_is_bounded_and_counts_everything():
+    recorder = FlightRecorder(capacity=3)
+    for index in range(5):
+        recorder.record(float(index), "net.send", {"src": "a"}, size=index)
+    assert len(recorder) == 3 and recorder.recorded == 5
+    lines = recorder.export_lines()
+    assert len(lines) == 3 and '"t":2.0' in lines[0]
+
+
+def test_recorder_export_is_deterministic_for_odd_values():
+    recorder = FlightRecorder()
+    detail = {"members": frozenset({"b", "a"}), "key": (4, ("a", "b")),
+              "blob": b"\x00\x01", "obj": None}
+    recorder.record(0.123456789123, "ft.view", detail)
+    again = FlightRecorder()
+    again.record(0.123456789123, "ft.view",
+                 {"obj": None, "blob": b"\x00\x01",
+                  "key": (4, ("a", "b")), "members": frozenset({"a", "b"})})
+    assert recorder.export_jsonl() == again.export_jsonl()
+    assert recorder.export_jsonl().endswith("\n")
+
+
+def test_jsonable_handles_nested_structures():
+    value = jsonable({"t": (1, {2, 3}), 4: b"x"})
+    assert value == {"t": [1, [2, 3]], "4": "b'x'"}
+
+
+# ----------------------------------------------------- trace integration
+
+def test_trace_sink_feeds_recorder_and_strict_validates():
+    trace = TraceLog(strict=True)
+    telemetry = Telemetry(trace)
+    trace.emit(1.0, "net.send", {"src": "a", "dst": "b", "port": "p"}, 10)
+    assert len(telemetry.recorder) == 1
+    with pytest.raises(KeyError):
+        trace.emit(2.0, "net.snd", {})
+    with pytest.raises(ValueError):
+        trace.emit(2.0, "net.send", {"source": "a"})
+
+
+def test_trace_snapshot_copies_byte_counters():
+    trace = TraceLog()
+    trace.emit(0.0, "net.send", size=100)
+    snapshot = trace.snapshot()
+    trace.emit(1.0, "net.send", size=50)
+    assert snapshot["net.send"] == 1 and snapshot.bytes("net.send") == 100
+    assert trace.snapshot().bytes("net.send") == 150
+    # Counter behaviour is preserved: deltas and copies keep working.
+    delta = trace.snapshot() - snapshot
+    assert delta["net.send"] == 1
+    assert snapshot.copy() == snapshot
+    # Equality is byte-aware: same counts, different bytes -> not equal.
+    other = TraceSnapshot({"net.send": 1}, {"net.send": 999})
+    assert snapshot != other
+    # ...but comparing against a plain Counter ignores bytes (legacy).
+    assert snapshot == {"net.send": 1}
+
+
+def test_telemetry_summary_and_formatting():
+    trace = TraceLog()
+    telemetry = Telemetry(trace)
+    telemetry.metrics.counter("gateway.forwarded").inc(2)
+    telemetry.metrics.histogram("bench.latency").record(0.004)
+    trace.emit(0.0, "net.send", {"src": "a", "dst": "b", "port": "p"}, 64)
+    summary = telemetry.summary()
+    assert summary["recorder"]["recorded"] == 1
+    assert summary["metrics"]["gateway.forwarded"] == 2
+    lines = format_summary(telemetry)
+    text = "\n".join(lines)
+    assert "net.send" in text and "bench.latency" in text
+    assert "flight recorder" in text

@@ -99,6 +99,7 @@ def _strategies():
             size=st.integers(min_value=0, max_value=256),
             guarantee=st.sampled_from(["agreed", "safe"]),
             retransmit=st.booleans(),
+            span=st.one_of(st.none(), st.text(max_size=24)),
         ),
         Token: st.builds(
             Token,
