@@ -25,45 +25,86 @@ Typical use (see examples/quickstart.py)::
 from repro.orb.orb_core import ORB
 from repro.replication.engine import ReplicationEngine
 from repro.replication.manager import ReplicationManager
+from repro.replication.rings import RingMap
 from repro.runtime.sim import SimRuntime
 from repro.totem.config import TotemConfig
 from repro.totem.process_groups import GroupMember
 from repro.totem.processor import TotemProcessor
+from repro.totem.ringmux import RingMux
+
+
+def build_ring_stacks(endpoint, ring_ids, totem_config=None, domain="ft-domain",
+                      engine_options=None, ring_map=None):
+    """Assemble the per-node stack for a node running several shard rings.
+
+    One Totem processor and group-communication endpoint is built per
+    ring id; when the node runs more than one ring, a
+    :class:`~repro.totem.ringmux.RingMux` multiplexes the shared Totem
+    port between them.  Returns ``(processors, members, orb, engine)``
+    where the first two are dicts keyed by ring id.
+    """
+    config = totem_config or TotemConfig()
+    ring_ids = tuple(sorted(set(ring_ids)))
+    if not ring_ids:
+        raise ValueError("a node must run at least one ring")
+    mux = RingMux(endpoint) if len(ring_ids) > 1 else None
+    processors = {}
+    members = {}
+    for rid in ring_ids:
+        processor = TotemProcessor(endpoint, config=config, ring_id=rid,
+                                   mux=mux)
+        processors[rid] = processor
+        members[rid] = GroupMember(processor)
+    orb = ORB(endpoint)
+    engine = ReplicationEngine(
+        orb, members, domain=domain, ring_map=ring_map,
+        **(engine_options or {})
+    )
+    return processors, members, orb, engine
 
 
 def build_node_stack(endpoint, totem_config=None, domain="ft-domain",
                      engine_options=None):
-    """Assemble the full per-node protocol stack on one endpoint.
+    """Assemble the single-ring per-node protocol stack on one endpoint.
 
-    Returns ``(processor, groups, orb, engine)``.  This is the single
-    composition point shared by :class:`EternalNode` and stand-alone
-    hosts such as the multi-process ``examples/live_demo.py``.
+    Returns ``(processor, groups, orb, engine)``.  This is the
+    composition point used by stand-alone single-ring hosts such as the
+    multi-process ``examples/live_demo.py``; sharded topologies go
+    through :func:`build_ring_stacks`.
     """
-    processor = TotemProcessor(endpoint, config=totem_config or TotemConfig())
-    groups = GroupMember(processor)
-    orb = ORB(endpoint)
-    engine = ReplicationEngine(
-        orb, groups, domain=domain, **(engine_options or {})
+    processors, members, orb, engine = build_ring_stacks(
+        endpoint, (0,), totem_config=totem_config, domain=domain,
+        engine_options=engine_options,
     )
-    return processor, groups, orb, engine
+    return processors[0], members[0], orb, engine
 
 
 class EternalNode:
-    """The full per-node stack."""
+    """The full per-node stack (one Totem processor per ring it runs)."""
 
     def __init__(self, system, node_id):
         self.system = system
         self.ep = system.runtime.add_node(node_id)
-        self.processor, self.groups, self.orb, self.engine = build_node_stack(
-            self.ep, totem_config=system.totem_config, domain=system.domain
+        ring_ids = system.rings_of_node(node_id)
+        self.processors, self.members, self.orb, self.engine = (
+            build_ring_stacks(
+                self.ep, ring_ids, totem_config=system.totem_config,
+                domain=system.domain, ring_map=system.ring_map,
+            )
         )
+        # Single-ring compatibility aliases: the node's lowest ring.
+        first = min(self.processors)
+        self.processor = self.processors[first]
+        self.groups = self.members[first]
 
     @property
     def node_id(self):
         return self.ep.node_id
 
     def __repr__(self):
-        return "EternalNode(%s)" % self.node_id
+        return "EternalNode(%s, rings=%s)" % (
+            self.node_id, sorted(self.processors),
+        )
 
 
 class EternalSystem:
@@ -71,10 +112,17 @@ class EternalSystem:
 
     def __init__(self, node_ids, seed=0, profile=None, totem_config=None,
                  domain="ft-domain", wire_codec=None, batching=None,
-                 runtime=None):
+                 runtime=None, rings=None):
         self.runtime = runtime if runtime is not None else SimRuntime(
             seed=seed, profile=profile
         )
+        # Ring topology: which shard rings exist and which nodes run each.
+        # None -> the classic single ring 0 over every node; an int N ->
+        # N rings all spanning every node (ring-parallel ordering); a dict
+        # {ring_id: [nodes] | None} -> explicit (possibly disjoint) rings,
+        # None meaning "every node".
+        self.ring_topology = self._normalize_rings(rings)
+        self.ring_map = RingMap(tuple(self.ring_topology))
         # Simulation-only conveniences (None on real-socket runtimes).
         self.sim = getattr(self.runtime, "sim", None)
         self.net = getattr(self.runtime, "net", None)
@@ -90,7 +138,7 @@ class EternalSystem:
         if overrides:
             self.totem_config = self.totem_config.copy(**overrides)
         self.domain = domain
-        self.manager = ReplicationManager(domain)
+        self.manager = ReplicationManager(domain, ring_map=self.ring_map)
         self.nodes = {}
         for node_id in node_ids:
             self.add_node(node_id)
@@ -98,6 +146,35 @@ class EternalSystem:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_rings(rings):
+        if rings is None:
+            return {0: None}
+        if isinstance(rings, int):
+            if rings < 1:
+                raise ValueError("ring count must be >= 1, got %d" % rings)
+            return {rid: None for rid in range(rings)}
+        topology = {
+            int(rid): (None if nodes is None else set(nodes))
+            for rid, nodes in rings.items()
+        }
+        if not topology:
+            raise ValueError("ring topology must name at least one ring")
+        return topology
+
+    def rings_of_node(self, node_id):
+        """Sorted ring ids this node participates in (never empty)."""
+        ring_ids = tuple(sorted(
+            rid for rid, nodes in self.ring_topology.items()
+            if nodes is None or node_id in nodes
+        ))
+        if not ring_ids:
+            raise ValueError(
+                "node %r is in no ring of the topology %s"
+                % (node_id, {r: sorted(n) if n else "all"
+                             for r, n in self.ring_topology.items()}))
+        return ring_ids
 
     def add_node(self, node_id):
         """Add a node running the full stack (before or after start)."""
@@ -117,9 +194,10 @@ class EternalSystem:
     # ------------------------------------------------------------------
 
     def start(self):
-        """Boot every node's group-communication endpoint."""
+        """Boot every node's group-communication endpoints (all rings)."""
         for eternal_node in self.nodes.values():
-            eternal_node.processor.start()
+            for processor in eternal_node.processors.values():
+                processor.start()
         return self
 
     def run_for(self, duration):
@@ -152,25 +230,38 @@ class EternalSystem:
         for eternal_node in self.nodes.values():
             if not eternal_node.ep.alive:
                 continue
-            ring = eternal_node.processor.installed_ring
-            if ring is None:
-                return False
-            expected = [
-                node_id
-                for node_id in runtime.component_of(eternal_node.node_id)
-                if runtime.alive(node_id) and node_id in self.nodes
-            ]
-            if list(ring.members) != expected:
-                return False
+            for rid, processor in eternal_node.processors.items():
+                ring = processor.installed_ring
+                if ring is None:
+                    return False
+                expected = [
+                    node_id
+                    for node_id in runtime.component_of(eternal_node.node_id)
+                    if runtime.alive(node_id) and node_id in self.nodes
+                    and rid in self.nodes[node_id].processors
+                ]
+                if list(ring.members) != expected:
+                    return False
         return True
 
     # ------------------------------------------------------------------
     # Replicated objects
     # ------------------------------------------------------------------
 
-    def create_replicated(self, group, factory, locations, policy=None):
-        """Create a replicated object; returns its group IOR."""
-        return self.manager.create_object(group, factory, locations, policy)
+    def create_replicated(self, group, factory, locations, policy=None,
+                          ring=None):
+        """Create a replicated object; returns its group IOR.
+
+        ``ring`` pins the group to a shard ring (all ``locations`` must
+        run it); by default the ring map's hash placement decides.
+        """
+        return self.manager.create_object(group, factory, locations, policy,
+                                          ring=ring)
+
+    def create_group(self, group, factory, locations, policy=None, ring=None):
+        """Alias for :meth:`create_replicated` (FT-CORBA naming)."""
+        return self.create_replicated(group, factory, locations, policy,
+                                      ring=ring)
 
     def stub(self, node_id, ior, interface=None):
         """A client stub bound to a node's ORB."""

@@ -8,6 +8,6 @@ object group on the client's behalf and relays the reply back over the
 TCP connection.
 """
 
-from repro.gateway.gateway import Gateway
+from repro.gateway.gateway import Gateway, GatewayTier
 
-__all__ = ["Gateway"]
+__all__ = ["Gateway", "GatewayTier"]

@@ -154,12 +154,20 @@ class DirectRouter:
     Multi-profile references (FT-CORBA's IOGR shape) fail over here: if
     connecting to a profile fails, the next profile is tried before the
     request is failed -- the standard client-side behaviour for object
-    group references resolved outside a replication domain.
+    group references resolved outside a replication domain.  The same
+    applies *after* connecting: when an established connection dies with
+    requests in flight, each of those requests is re-sent to its
+    remaining profiles (rather than failed outright), so multi-profile
+    references ride out mid-invocation server crashes.
     """
 
     def __init__(self, orb):
         self.orb = orb
         self._connections = {}
+        # request id -> {profiles, request, data, key}: in-flight routing
+        # state for reply-expected requests, consulted when a connection
+        # dies so its pending requests can be rerouted.
+        self._routes = {}
 
     def send_request(self, ior, request, future):
         profiles = ior.iiop_profiles()
@@ -167,14 +175,26 @@ class DirectRouter:
             future.set_exception(InvObjref("reference has no IIOP profile"))
             return
         data = encode_message(request)
+        remaining = list(profiles)
         if request.response_expected:
             self.orb._pending[request.request_id] = future
+            self._routes[request.request_id] = {
+                "profiles": remaining, "request": request,
+                "data": data, "key": None,
+            }
         else:
             future.set_result(None)
-        self._try_profiles(list(profiles), request, data)
+        self._try_profiles(remaining, request, data)
+
+    def drop_route(self, request_id):
+        """Forget a request's routing state (it resolved or was failed)."""
+        self._routes.pop(request_id, None)
 
     def _try_profiles(self, profiles, request, data):
         profile = profiles.pop(0)
+        route = self._routes.get(request.request_id)
+        if route is not None:
+            route["key"] = (profile.host, profile.port)
 
         def failed(error):
             if profiles:
@@ -207,13 +227,35 @@ class DirectRouter:
 
     def _on_close(self, key, error):
         self._connections.pop(key, None)
-        if error is not None:
-            self.orb._fail_all_pending(error)
+        if error is None:
+            return
+        # Only the requests routed over this connection are affected;
+        # each falls over to its remaining profiles or fails alone.
+        affected = [
+            request_id for request_id, route in self._routes.items()
+            if route["key"] == key
+        ]
+        for request_id in affected:
+            route = self._routes.get(request_id)
+            if route is None or request_id not in self.orb._pending:
+                self._routes.pop(request_id, None)
+                continue
+            if route["profiles"]:
+                self.orb.ep.emit(
+                    "orb.profile.failover",
+                    {"from": key[0], "remaining": len(route["profiles"])},
+                )
+                self._try_profiles(
+                    route["profiles"], route["request"], route["data"]
+                )
+            else:
+                self.orb._fail_request(request_id, error)
 
     def close(self):
         for conn in list(self._connections.values()):
             conn.close()
         self._connections.clear()
+        self._routes.clear()
 
 
 class ORB:
@@ -304,6 +346,7 @@ class ORB:
         def expire():
             future = self._pending.pop(request_id, None)
             self._pending_meta.pop(request_id, None)
+            self._drop_route(request_id)
             if future is not None:
                 future.set_exception(
                     TimeoutError_("request %d (%s) after %.3fs" % (request_id, operation, limit))
@@ -311,15 +354,23 @@ class ORB:
 
         self.ep.timer(limit, expire, "orb.timeout")
 
+    def _drop_route(self, request_id):
+        drop = getattr(self.router, "drop_route", None)
+        if drop is not None:
+            drop(request_id)
+
     def _fail_request(self, request_id, error):
         future = self._pending.pop(request_id, None)
         self._pending_meta.pop(request_id, None)
+        self._drop_route(request_id)
         if future is not None:
             future.set_exception(error)
 
     def _fail_all_pending(self, error):
         pending, self._pending = self._pending, {}
         self._pending_meta.clear()
+        for request_id in pending:
+            self._drop_route(request_id)
         for future in pending.values():
             future.set_exception(error)
 
@@ -342,6 +393,7 @@ class ORB:
         meta = self._pending_meta.pop(reply.request_id, None)
         if future is None:
             return False
+        self._drop_route(reply.request_id)
         if reply.status == ReplyStatus.LOCATION_FORWARD and meta is not None:
             _old_target, original = meta
             forward = IOR.from_string(decode_value(reply.body))
@@ -381,6 +433,7 @@ class ORB:
     def forget_pending(self, request_id):
         """Drop a pending-future entry (its owner resolves it directly)."""
         self._pending_meta.pop(request_id, None)
+        self._drop_route(request_id)
         return self._pending.pop(request_id, None)
 
     # ------------------------------------------------------------------
@@ -393,6 +446,12 @@ class ORB:
     def _on_server_data(self, conn, data):
         message = decode_message(data)
         if isinstance(message, RequestMessage):
+            # Name the requesting node so replicated receivers (the
+            # gateway tier) can derive client-deterministic operation ids.
+            peer = getattr(conn, "peer_node", None)
+            if peer is not None:
+                message.service_context["x-peer-node"] = peer
+
             def respond(reply):
                 if reply is not None and not conn.closed:
                     conn.send(encode_message(reply))

@@ -8,6 +8,8 @@ Layers (bottom to top):
 - :mod:`duplicates` -- sender- and receiver-side suppression tables;
 - :mod:`styles` -- active, warm/cold passive, and semi-active replication
   policies;
+- :mod:`rings` -- deterministic placement of object groups onto the
+  domain's shard rings (multi-ring topologies);
 - :mod:`replica` -- per-node replica state (logs, tables, dispatcher);
 - :mod:`engine` -- the per-node mechanism engine: ORB interception, style
   execution, state transfer, failover, partition reconciliation;
@@ -30,6 +32,7 @@ from repro.replication.identifiers import (
 )
 from repro.replication.manager import ObjectGroupRecord, ReplicationManager
 from repro.replication.replica import LocalReplica, PendingRequest
+from repro.replication.rings import RingMap
 from repro.replication.styles import GroupPolicy, ReplicationStyle
 
 __all__ = [
@@ -49,6 +52,7 @@ __all__ = [
     "ReplicationManager",
     "LocalReplica",
     "PendingRequest",
+    "RingMap",
     "GroupPolicy",
     "ReplicationStyle",
 ]

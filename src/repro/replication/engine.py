@@ -36,6 +36,7 @@ from repro.replication.identifiers import (
     fulfillment_operation_id,
 )
 from repro.replication.replica import ExecutionTask, LocalReplica, PendingRequest
+from repro.replication.rings import RingMap
 from repro.replication.styles import GroupPolicy, ReplicationStyle
 from repro.state.three_tier import FullStateCapture
 from repro.state.transfer import IncrementalAssembler, IncrementalTransfer
@@ -82,6 +83,9 @@ class GroupRouter:
     def _with_connection(self, profile, action, on_error):
         self.fallback._with_connection(profile, action, on_error)
 
+    def drop_route(self, request_id):
+        self.fallback.drop_route(request_id)
+
     def close(self):
         self.fallback.close()
 
@@ -91,21 +95,39 @@ class ReplicationEngine:
 
     Args:
         orb: the node's ORB (its router is replaced -- interception).
-        group_member: the node's process-group endpoint.
+        group_member: the node's process-group endpoint -- either one
+            :class:`~repro.totem.process_groups.GroupMember` (single-ring
+            topology) or a dict ``{ring_id: GroupMember}`` when this node
+            participates in several shard rings.
         domain: fault-tolerance domain name recorded in group IORs.
         client_group: name of this node's client object group.  Replicated
             clients share one name across their hosting nodes; by default
             each node forms a singleton client group.
+        ring_map: the domain's :class:`~repro.replication.rings.RingMap`
+            (shared with the manager and the gateways); defaults to a
+            map over exactly this node's rings.
     """
 
     def __init__(self, orb, group_member, domain="ft-domain", client_group=None,
                  request_retry_timeout=0.5, request_retry_limit=3,
-                 sender_side_suppression=True, merge_stall_timeout=0.25):
+                 sender_side_suppression=True, merge_stall_timeout=0.25,
+                 ring_map=None):
         self.orb = orb
         self.ep = orb.ep
         self.node_id = orb.node_id
         self.domain = domain
-        self.groups = group_member
+        if isinstance(group_member, dict):
+            self._ring_members = dict(group_member)
+        else:
+            ring_id = getattr(group_member.processor, "ring_id", 0)
+            self._ring_members = {ring_id: group_member}
+        self._default_ring = min(self._ring_members)
+        # Compatibility alias: the default ring's member.  Single-ring
+        # callers (and tests that stub out `.send`) keep working unchanged.
+        self.groups = self._ring_members[self._default_ring]
+        self.ring_map = ring_map if ring_map is not None else RingMap(
+            tuple(self._ring_members)
+        )
         # FT-CORBA-style request retransmission: if a reply does not arrive
         # (e.g. it was delivered only in a configuration this node was not
         # part of), the request is re-multicast with the same operation
@@ -134,10 +156,17 @@ class ReplicationEngine:
         # Interception: divert group-addressed requests, keep the direct
         # path for plain IIOP references.
         orb.router = GroupRouter(self, orb.router)
-        group_member.on_message = self._on_group_message
-        group_member.on_view = self._on_view
-        group_member.on_config_cb = self._on_config
-        group_member.join(self.client_group)
+        # Client groups are joined on *every* ring this node runs: replies
+        # from object groups on any ring then reach the client directly on
+        # that ring, with no cross-ring forwarding hop.
+        self._client_groups = {self.client_group}
+        for rid, member in self._ring_members.items():
+            member.on_message = self._on_group_message
+            member.on_view = self._on_view
+            member.on_config_cb = (
+                lambda event, _rid=rid: self._on_ring_config(_rid, event)
+            )
+            member.join(self.client_group)
         # A process crash loses all replica and suppression state; the
         # recovered incarnation rejoins its client group empty, and the
         # ReplicationManager re-hosts replicas (ready=False) explicitly.
@@ -154,7 +183,61 @@ class ReplicationEngine:
         self._assemblers.clear()
 
     def _on_node_recover(self):
-        self.groups.join(self.client_group)
+        for member in self._ring_members.values():
+            for name in self._client_groups:
+                member.join(name)
+
+    # ------------------------------------------------------------------
+    # Ring routing
+    # ------------------------------------------------------------------
+
+    def _ring_of(self, group):
+        """The shard ring that orders ``group``'s traffic."""
+        return self.ring_map.ring_of(group)
+
+    def _member_for(self, group):
+        """The group-communication endpoint for ``group``'s home ring."""
+        rid = self._ring_of(group)
+        member = self._ring_members.get(rid)
+        if member is None:
+            raise ValueError(
+                "node %s is not in ring %d of group %r"
+                % (self.node_id, rid, group))
+        return member
+
+    def participates_in(self, group):
+        """True when this node runs the ring that orders ``group``."""
+        return self._ring_of(group) in self._ring_members
+
+    def join_client_group(self, name):
+        """Join an additional client (reply) group on every ring."""
+        self._client_groups.add(name)
+        for member in self._ring_members.values():
+            member.join(name)
+
+    def _reply_members(self, client_group, server_group):
+        """Endpoints a reply must be multicast on.
+
+        The reply always travels the server group's ring (where the
+        request was ordered and the server-side duplicate tables live).
+        When the client group is itself an object group homed on a
+        *different* ring -- a replicated client invoking across rings --
+        the reply is additionally multicast on the client's home ring,
+        because its members only join their own group there.  Receiver-
+        side duplicate suppression keeps the dual send exactly-once.
+        """
+        members = []
+        server_ring = self._ring_of(server_group)
+        server_member = self._ring_members.get(server_ring)
+        if server_member is not None:
+            members.append(server_member)
+        if self.ring_map.is_assigned(client_group):
+            client_ring = self._ring_of(client_group)
+            if client_ring != server_ring:
+                client_member = self._ring_members.get(client_ring)
+                if client_member is not None:
+                    members.append(client_member)
+        return members
 
     # ------------------------------------------------------------------
     # Hosting replicas
@@ -175,7 +258,7 @@ class ReplicationEngine:
         replica = LocalReplica(self, group, servant, policy, ready)
         self.replicas[group] = replica
         self.orb.poa._servants["group:%s" % group] = servant
-        self.groups.join(group)
+        self._member_for(group).join(group)
         self.ep.emit("ft.host", {"group": group, "node": self.node_id,
                                   "style": policy.style, "ready": ready})
         return self.group_ior(group, servant)
@@ -186,7 +269,7 @@ class ReplicationEngine:
         if replica is None:
             return
         self.orb.poa._servants.pop("group:%s" % group, None)
-        self.groups.leave(group)
+        self._member_for(group).leave(group)
 
     def group_ior(self, group, servant_or_type_id="IDL:Object:1.0"):
         """Build the group reference clients invoke."""
@@ -205,14 +288,25 @@ class ReplicationEngine:
     # Client side: outgoing group requests
     # ------------------------------------------------------------------
 
-    def send_group_request(self, ior, request, future):
+    def send_group_request(self, ior, request, future, operation_id=None,
+                           client_group=None):
+        """Multicast a group-addressed GIOP request on its home ring.
+
+        ``operation_id`` / ``client_group`` override the derived values;
+        gateways use this to stamp deterministic operation ids shared by
+        every gateway replica (so retried/rerouted client requests are
+        duplicate-suppressed domain-wide).
+        """
         group = ior.group_profile().group_name
-        context = self.orb.current_context
-        if isinstance(context, ExecutionContext):
-            operation_id = context.next_nested_id()
-            client_group = context.group
-        else:
-            operation_id = self.allocator.next_top_level()
+        if operation_id is None:
+            context = self.orb.current_context
+            if isinstance(context, ExecutionContext):
+                operation_id = context.next_nested_id()
+                client_group = context.group
+            else:
+                operation_id = self.allocator.next_top_level()
+                client_group = client_group or self.client_group
+        elif client_group is None:
             client_group = self.client_group
         request.service_context["FT"] = {
             "op": operation_id,
@@ -227,7 +321,8 @@ class ReplicationEngine:
         if request.response_expected:
             if telemetry is not None:
                 span = span_id_for_operation(operation_id)
-                telemetry.span_start(span, self.ep.now)
+                telemetry.span_start(span, self.ep.now,
+                                     ring=self._ring_of(group))
             self.pending[operation_id] = (request.request_id, future)
             self.orb._pending[request.request_id] = future
             self._arm_request_retry(group, client_group, operation_id, data, 0)
@@ -245,12 +340,40 @@ class ReplicationEngine:
                               {"op": repr(operation_id)})
                 return
         self.ep.emit("ft.request.sent", {"group": group, "node": self.node_id})
-        self.groups.send(
+        self._member_for(group).send(
             (group, client_group),
             (REQUEST, group, client_group, operation_id, data, False),
             size=len(data) + _ENVELOPE_OVERHEAD,
             span=span,
         )
+
+    def invoke_group(self, ior, operation, args=(), response_expected=True,
+                     operation_id=None, client_group=None, timeout=None):
+        """Build and send a group request directly (bypassing a stub).
+
+        Returns the reply future.  Used by gateways forwarding decoded
+        plain-IIOP requests with externally-derived operation ids.
+        """
+        from repro.orb.cdr import encode_value
+        from repro.orb.giop import RequestMessage
+        from repro.orb.orb_core import Future
+
+        request = RequestMessage(
+            self.orb.next_request_id(),
+            self.orb._object_key_for(ior),
+            operation,
+            encode_value(tuple(args)),
+            response_expected=response_expected,
+        )
+        future = Future()
+        future.request_id = request.request_id
+        if response_expected and timeout != 0:
+            self.orb._arm_request_timeout(request.request_id, operation,
+                                          timeout)
+        self.send_group_request(ior, request, future,
+                                operation_id=operation_id,
+                                client_group=client_group)
+        return future
 
     # ------------------------------------------------------------------
     # External (unreplicated-target) invocations from replicated code
@@ -305,7 +428,7 @@ class ReplicationEngine:
         def propagate(fut):
             reply = _reply_from_future(inner_request, fut)
             data = encode_message(reply)
-            self.groups.send(
+            self._member_for(replica.group).send(
                 (replica.group,),
                 (EXTERNAL_REPLY, replica.group, operation_id, data),
                 size=len(data) + _ENVELOPE_OVERHEAD,
@@ -342,7 +465,7 @@ class ReplicationEngine:
                 return  # resolved meanwhile
             self.ep.emit("ft.request.retry",
                           {"op": repr(operation_id), "attempt": attempt + 1})
-            self.groups.send(
+            self._member_for(group).send(
                 (group, client_group),
                 (REQUEST, group, client_group, operation_id, data, False),
                 size=len(data) + _ENVELOPE_OVERHEAD,
@@ -403,7 +526,7 @@ class ReplicationEngine:
         if self._member_of(client_group):
             self.client_seen_requests.add(operation_id)
             if message.sender != self.node_id and self.sender_side_suppression:
-                cancelled = self.groups.cancel_queued(
+                cancelled = self._cancel_queued_everywhere(
                     lambda p: p[0] == REQUEST and p[3] == operation_id
                 )
                 if cancelled:
@@ -522,11 +645,12 @@ class ReplicationEngine:
     def _multicast_reply(self, replica, client_group, operation_id, reply_bytes):
         self.ep.emit("ft.reply.sent", {"group": replica.group,
                                         "node": self.node_id})
-        self.groups.send(
-            (client_group, replica.group),
-            (REPLY, client_group, replica.group, operation_id, reply_bytes),
-            size=len(reply_bytes) + _ENVELOPE_OVERHEAD,
-        )
+        for member in self._reply_members(client_group, replica.group):
+            member.send(
+                (client_group, replica.group),
+                (REPLY, client_group, replica.group, operation_id, reply_bytes),
+                size=len(reply_bytes) + _ENVELOPE_OVERHEAD,
+            )
 
     # ------------------------------------------------------------------
     # Replies
@@ -543,7 +667,7 @@ class ReplicationEngine:
             replica.tables.note_reply_seen(operation_id)
             if (message.sender != self.node_id and first_time
                     and self.sender_side_suppression):
-                cancelled = self.groups.cancel_queued(
+                cancelled = self._cancel_queued_everywhere(
                     lambda p: p[0] == REPLY and p[3] == operation_id
                 )
                 if cancelled:
@@ -565,7 +689,7 @@ class ReplicationEngine:
                 self.ep.emit("ft.state.update.image.sent",
                               {"group": replica.group})
                 size = len(encode_value(image)) + _ENVELOPE_OVERHEAD
-                self.groups.send(
+                self._member_for(replica.group).send(
                     (replica.group,),
                     (STATE_UPDATE_IMAGE, replica.group, operation_id,
                      replica.ops_applied, image, reply_bytes, client_group),
@@ -575,7 +699,7 @@ class ReplicationEngine:
         state = replica.servant.get_state()
         self.ep.emit("ft.state.update.sent", {"group": replica.group})
         size = len(encode_value(state)) + _ENVELOPE_OVERHEAD
-        self.groups.send(
+        self._member_for(replica.group).send(
             (replica.group,),
             (STATE_UPDATE, replica.group, operation_id, replica.ops_applied,
              state, reply_bytes, client_group),
@@ -632,7 +756,7 @@ class ReplicationEngine:
 
         value = capture.as_value()
         self.ep.emit("ft.checkpoint.sent", {"group": replica.group})
-        self.groups.send(
+        self._member_for(replica.group).send(
             (replica.group,),
             (CHECKPOINT, replica.group, value),
             size=len(encode_value(value)) + _ENVELOPE_OVERHEAD,
@@ -657,14 +781,19 @@ class ReplicationEngine:
     # View changes: failover, sponsorship
     # ------------------------------------------------------------------
 
-    def _on_config(self, event):
-        """Ring configuration changes: fix partition sides from EVS.
+    def _on_ring_config(self, ring_id, event):
+        """One ring's configuration changes: fix partition sides from EVS.
 
         The transitional configuration names exactly the processors that
         moved together from the old ring -- the replica's partition
         component.  The side representative derived here stays frozen
         through the post-change view rebuild (whose intermediate views say
         nothing about sides) until reconciliation re-derives it.
+
+        Each shard ring runs its own membership protocol, so the event
+        only concerns replicas whose group is homed on ``ring_id``:
+        a merge barrier on one ring must not stall groups ordered by a
+        different, unaffected ring.
         """
         from repro.totem.events import TransitionalConfiguration
 
@@ -674,6 +803,8 @@ class ReplicationEngine:
         new_ring_members = set(event.new_ring_key[1])
         for replica in self.replicas.values():
             if not replica.ready:
+                continue
+            if self._ring_of(replica.group) != ring_id:
                 continue
             was_stalled = replica.awaiting_merge_capture
             replica.pre_change_members = set(replica.members) | {self.node_id}
@@ -814,7 +945,7 @@ class ReplicationEngine:
             # the transfer is on the wire and delivered back to us.
             replica._sponsor_done = done
             replica._sponsor_marker = marker
-            self.groups.send(
+            self._member_for(replica.group).send(
                 (replica.group,),
                 (STATE_FULL, replica.group, value, self.node_id, marker),
                 size=len(encoded) + _ENVELOPE_OVERHEAD,
@@ -822,13 +953,14 @@ class ReplicationEngine:
         else:
             transfer = IncrementalTransfer(value, replica.policy.chunk_bytes)
             transfer.stats.started_at = self.ep.now
+            member = self._member_for(replica.group)
             for frame in transfer.framed_chunks():
-                self.groups.send(
+                member.send(
                     (replica.group,),
                     (STATE_CHUNK, replica.group, self.node_id, marker, frame),
                     size=len(frame) + _ENVELOPE_OVERHEAD,
                 )
-            self.groups.send(
+            member.send(
                 (replica.group,),
                 (STATE_END, replica.group, self.node_id, marker),
                 size=_ENVELOPE_OVERHEAD,
@@ -950,7 +1082,7 @@ class ReplicationEngine:
             if fulfillment_op in replica.tables.completed_operation_ids():
                 continue
             self.ep.emit("ft.fulfillment.sent", {"group": replica.group})
-            self.groups.send(
+            self._member_for(replica.group).send(
                 (replica.group, client_group or self.client_group),
                 (REQUEST, replica.group, client_group or self.client_group,
                  fulfillment_op, request_bytes, True),
@@ -1046,7 +1178,7 @@ class ReplicationEngine:
         replica.merge_announced = True
         self.ep.emit("ft.merge.reconciled.sent", {"group": replica.group,
                                                    "node": self.node_id})
-        self.groups.send(
+        self._member_for(replica.group).send(
             (replica.group,),
             (RECONCILED, replica.group, self.node_id),
             size=_ENVELOPE_OVERHEAD,
@@ -1080,7 +1212,13 @@ class ReplicationEngine:
     # ------------------------------------------------------------------
 
     def _member_of(self, group):
-        return group in self.groups.my_groups
+        return any(group in member.my_groups
+                   for member in self._ring_members.values())
+
+    def _cancel_queued_everywhere(self, predicate):
+        """Withdraw queued messages matching ``predicate`` on every ring."""
+        return sum(member.cancel_queued(predicate)
+                   for member in self._ring_members.values())
 
     def stats(self):
         """Suppression and execution counters for benchmarks."""

@@ -14,6 +14,7 @@ lost a member below its ``min_replicas`` gets a new member on a spare
 node, initialized by the group's state-transfer mechanism.
 """
 
+from repro.replication.rings import RingMap
 from repro.replication.styles import GroupPolicy
 
 
@@ -36,11 +37,14 @@ class ObjectGroupRecord:
 class ReplicationManager:
     """Creates and maintains object groups across a domain of engines."""
 
-    def __init__(self, domain="ft-domain"):
+    def __init__(self, domain="ft-domain", ring_map=None):
         self.domain = domain
         self.engines = {}
         self.records = {}
         self.spares = []
+        # Group-to-ring placement shared with every engine and gateway in
+        # the domain; a single-ring map keeps legacy topologies unchanged.
+        self.ring_map = ring_map if ring_map is not None else RingMap()
 
     # ------------------------------------------------------------------
     # Domain registry
@@ -63,17 +67,24 @@ class ReplicationManager:
     # Object group lifecycle
     # ------------------------------------------------------------------
 
-    def create_object(self, group, factory, locations, policy=None):
+    def create_object(self, group, factory, locations, policy=None, ring=None):
         """Create a replicated object: one replica per location.
 
         ``factory()`` constructs a servant; it is called once per replica
         so each node owns its own instance (as separate processes would).
         All initial replicas start from the factory's state, so they boot
         ready without a state transfer.  Returns the group IOR.
+
+        ``ring`` pins the group to a shard ring; by default the ring map's
+        deterministic hash placement decides.  Every location must run the
+        chosen ring.
         """
         if group in self.records:
             raise ValueError("object group %r already exists" % (group,))
         policy = policy or GroupPolicy()
+        self.ring_map.assign(
+            group, ring if ring is not None else self.ring_map.placement(group)
+        )
         ior = None
         record = ObjectGroupRecord(group, factory, policy, None)
         for node_id in locations:
@@ -139,6 +150,8 @@ class ReplicationManager:
                 continue
             if record.group in engine.replicas:
                 continue
+            if not engine.participates_in(record.group):
+                continue  # the spare does not run this group's ring
             return node_id
         return None
 

@@ -1,0 +1,66 @@
+"""Ring map: deterministic placement of object groups onto shard rings.
+
+A replication domain sharded across several independent Totem rings
+needs every node -- managers, engines, gateways -- to agree on which
+ring orders a given object group's traffic, without a directory lookup
+on the invocation path.  The :class:`RingMap` gives that agreement two
+ways:
+
+- *hash placement* (the default): ``crc32(group_name) % len(rings)``,
+  so placement is a pure function of the group name and the ring set;
+- *explicit assignment*: the manager may pin a group to a ring at
+  creation time (``create_object(..., ring=...)``), recorded here.
+
+Client groups (the per-node reply groups engines create for unreplicated
+callers) are deliberately *not* assigned: :meth:`is_assigned` is how the
+engine distinguishes "object group with a home ring" from "client group
+joined on every ring", which drives cross-ring reply dual-send.
+"""
+
+import zlib
+
+
+class RingMap:
+    """The domain's ring topology and group-to-ring assignment table."""
+
+    def __init__(self, ring_ids=(0,)):
+        ids = tuple(sorted(set(ring_ids)))
+        if not ids:
+            raise ValueError("a ring map needs at least one ring id")
+        self.ring_ids = ids
+        self._assigned = {}
+
+    def placement(self, group):
+        """The hash-placed ring id for ``group`` (ignores assignments)."""
+        return self.ring_ids[zlib.crc32(group.encode("utf-8")) % len(self.ring_ids)]
+
+    def assign(self, group, ring_id):
+        """Pin ``group`` to ``ring_id``; re-assignment must match."""
+        if ring_id not in self.ring_ids:
+            raise ValueError(
+                "ring %r is not in the domain topology %s"
+                % (ring_id, list(self.ring_ids)))
+        existing = self._assigned.get(group)
+        if existing is not None and existing != ring_id:
+            raise ValueError(
+                "group %r already assigned to ring %d" % (group, existing))
+        self._assigned[group] = ring_id
+        return ring_id
+
+    def is_assigned(self, group):
+        """True when ``group`` was pinned (i.e. it is an object group)."""
+        return group in self._assigned
+
+    def ring_of(self, group):
+        """The ring that orders ``group``'s traffic."""
+        assigned = self._assigned.get(group)
+        return assigned if assigned is not None else self.placement(group)
+
+    def assignments(self):
+        """Snapshot of the explicit assignment table."""
+        return dict(self._assigned)
+
+    def __repr__(self):
+        return "RingMap(rings=%s, assigned=%d)" % (
+            list(self.ring_ids), len(self._assigned),
+        )

@@ -56,8 +56,8 @@ class Telemetry:
 
     # -- span conveniences (the engine and Totem core call these) -------
 
-    def span_start(self, span_id, time):
-        return self.spans.start(span_id, time)
+    def span_start(self, span_id, time, ring=None):
+        return self.spans.start(span_id, time, ring=ring)
 
     def span_mark(self, span_id, point, time):
         return self.spans.mark(span_id, point, time)

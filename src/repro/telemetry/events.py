@@ -132,27 +132,41 @@ register_category("orb.dispatch.error", ("op", "error"),
 register_category("orb.intercept", ("op", "node"),
                   "encoded request passed the interception point")
 
-# Totem ordering protocol
-register_category("totem.deliver", ("node", "seq"), "message delivered in order")
-register_category("totem.data.stored", ("node", "seq"), "new data message stored")
-register_category("totem.batch", ("node", "n"),
+# Totem ordering protocol.  ``ring_id`` on these categories is the shard
+# ring the emitting processor belongs to (0 in single-ring topologies),
+# enabling per-ring traffic and latency attribution.
+register_category("totem.deliver", ("node", "seq", "ring_id"),
+                  "message delivered in order")
+register_category("totem.data.stored", ("node", "seq", "ring_id"),
+                  "new data message stored")
+register_category("totem.batch", ("node", "n", "ring_id"),
                   "several queued messages coalesced into one batch frame")
-register_category("totem.token.retransmit", ("node",), "token retransmitted")
-register_category("totem.token.lost", ("node",), "token loss timeout fired")
-register_category("totem.foreign", ("node", "src"),
+register_category("totem.token.retransmit", ("node", "ring_id"),
+                  "token retransmitted")
+register_category("totem.token.lost", ("node", "ring_id"),
+                  "token loss timeout fired")
+register_category("totem.foreign", ("node", "src", "ring_id"),
                   "traffic from a foreign ring observed (merge trigger)")
-register_category("totem.gather", ("node", "reason"), "membership gather entered")
-register_category("totem.fail_set", ("node", "failed"),
+register_category("totem.gather", ("node", "reason", "ring_id"),
+                  "membership gather entered")
+register_category("totem.fail_set", ("node", "failed", "ring_id"),
                   "silent processors moved to the fail set")
-register_category("totem.consensus", ("node", "ring"), "membership consensus reached")
-register_category("totem.commit.timeout", ("node",), "commit phase timed out")
-register_category("totem.commit.retransmit", ("node",), "commit token retransmitted")
-register_category("totem.recovery.enter", ("node", "ring"), "recovery phase entered")
-register_category("totem.recovery.request", ("node", "n"),
+register_category("totem.consensus", ("node", "ring", "ring_id"),
+                  "membership consensus reached")
+register_category("totem.commit.timeout", ("node", "ring_id"),
+                  "commit phase timed out")
+register_category("totem.commit.retransmit", ("node", "ring_id"),
+                  "commit token retransmitted")
+register_category("totem.recovery.enter", ("node", "ring", "ring_id"),
+                  "recovery phase entered")
+register_category("totem.recovery.request", ("node", "n", "ring_id"),
                   "recovery retransmission requested")
-register_category("totem.install", ("node", "ring"), "new ring installed")
+register_category("totem.install", ("node", "ring", "ring_id"),
+                  "new ring installed")
 register_category("totem.wire.error", ("node", "error"),
                   "undecodable Totem frame")
+register_category("totem.ring.mismatch", ("node", "ring_id", "src"),
+                  "datagram for a shard ring this node does not run dropped")
 
 # Replication engine (interception + mechanisms + recovery)
 register_category("ft.host", ("group", "node", "style", "ready"), "replica hosted")
@@ -223,3 +237,5 @@ register_category("ftrecover.placement", ("group", "node"),
 # Gateway
 register_category("gateway.forward", ("key", "op"),
                   "plain-IIOP request re-issued as a group invocation")
+register_category("gateway.export.replaced", ("key",),
+                  "an exported object key was overwritten by a new export")

@@ -47,13 +47,18 @@ def span_id_for_operation(operation_id):
 
 
 class Span:
-    """One invocation's mark points (first occurrence per point)."""
+    """One invocation's mark points (first occurrence per point).
 
-    __slots__ = ("span_id", "marks")
+    ``ring`` optionally names the shard ring the invocation's ordering
+    traffic used, so per-ring latency attribution can filter spans.
+    """
 
-    def __init__(self, span_id):
+    __slots__ = ("span_id", "marks", "ring")
+
+    def __init__(self, span_id, ring=None):
         self.span_id = span_id
         self.marks = {}
+        self.ring = ring
 
     def mark(self, point, time):
         if point not in self.marks:
@@ -89,12 +94,14 @@ class SpanTracker:
         self.finished = []
         self.dropped = 0
 
-    def start(self, span_id, time):
+    def start(self, span_id, time, ring=None):
         """Open a span (idempotent) and stamp its ``intercept`` point."""
         span = self.open.get(span_id)
         if span is None:
-            span = Span(span_id)
+            span = Span(span_id, ring=ring)
             self.open[span_id] = span
+        elif ring is not None and span.ring is None:
+            span.ring = ring
         span.mark("intercept", time)
         return span
 
@@ -129,10 +136,17 @@ class SpanTracker:
         """Finished spans that reached every mark point."""
         return [span for span in self.finished if span.complete]
 
-    def layer_durations(self):
-        """{layer: [seconds, ...]} over every complete finished span."""
+    def layer_durations(self, ring=None):
+        """{layer: [seconds, ...]} over every complete finished span.
+
+        ``ring`` restricts the aggregation to spans stamped with that
+        shard ring id (per-ring latency attribution); None aggregates
+        every complete span regardless of ring.
+        """
         result = {layer: [] for layer, _s, _e in LAYER_INTERVALS}
         for span in self.complete_spans():
+            if ring is not None and span.ring != ring:
+                continue
             for layer, duration in span.layers().items():
                 result[layer].append(duration)
         return result

@@ -28,6 +28,7 @@ from repro.totem.events import (
 from repro.totem.messages import RingId
 from repro.totem.processor import TotemProcessor
 from repro.totem.process_groups import GroupMember, GroupMessage, GroupView
+from repro.totem.ringmux import RingMux
 from repro.totem.cluster import TotemCluster
 
 __all__ = [
@@ -40,5 +41,6 @@ __all__ = [
     "GroupMember",
     "GroupMessage",
     "GroupView",
+    "RingMux",
     "TotemCluster",
 ]

@@ -18,7 +18,7 @@ class TotemCluster:
     """A runtime + one Totem processor per node."""
 
     def __init__(self, node_ids, seed=0, profile=None, config=None,
-                 with_groups=False, runtime=None):
+                 with_groups=False, runtime=None, ring_id=0):
         self.runtime = runtime if runtime is not None else SimRuntime(
             seed=seed, profile=profile
         )
@@ -40,6 +40,7 @@ class TotemCluster:
                 config=self.config,
                 on_deliver=self._recorder(self.deliveries[node_id]),
                 on_config=self._recorder(self.configs[node_id]),
+                ring_id=ring_id,
             )
             self.processors[node_id] = processor
             if with_groups:

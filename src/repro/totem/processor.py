@@ -38,7 +38,7 @@ from repro.totem.messages import (
 )
 from repro.wire.codec import decode_payload
 from repro.wire.codec import encode as wire_encode
-from repro.wire.framing import WireFormatError, encode_batch
+from repro.wire.framing import WireFormatError, encode_batch, peek_ring
 
 PORT = "totem"
 
@@ -91,18 +91,30 @@ class TotemProcessor:
         config: protocol timers; defaults to :class:`TotemConfig()`.
         on_deliver: callback(:class:`DeliveredMessage`).
         on_config: callback(RegularConfiguration | TransitionalConfiguration).
+        ring_id: the shard ring this processor belongs to.  The id is
+            stamped on every outbound wire frame and inbound frames for
+            other rings are dropped, so independent rings sharing the
+            broadcast medium never cross-talk.
+        mux: a :class:`~repro.totem.ringmux.RingMux` when several rings
+            co-host one endpoint; None (the default) binds the Totem
+            port directly.
     """
 
     def __init__(self, network, node=None, config=None, on_deliver=None,
-                 on_config=None):
+                 on_config=None, ring_id=0, mux=None):
         self.ep = endpoint_of(network, node)
         self.config = config if config is not None else TotemConfig()
         self.on_deliver = on_deliver or (lambda msg: None)
         self.on_config = on_config or (lambda event: None)
         self.node_id = self.ep.node_id
+        self.ring_id = ring_id
+        self._mux = mux
         self.state = "down"
         self._reset_state()
-        self.ep.bind(PORT, self._on_message)
+        if mux is not None:
+            mux.register(ring_id, self._on_frames)
+        else:
+            self.ep.bind(PORT, self._on_message)
         self.ep.on_crash(lambda _n: self._on_crash())
         self.ep.on_recover(lambda _n: self.start())
 
@@ -113,7 +125,10 @@ class TotemProcessor:
     def start(self):
         """Boot the processor: begin forming a ring."""
         self._reset_state()
-        self.ep.bind(PORT, self._on_message)
+        if self._mux is not None:
+            self._mux.ensure_bound()
+        else:
+            self.ep.bind(PORT, self._on_message)
         self._enter_gather("boot")
 
     def send(self, payload, size=64, guarantee="agreed", span=None):
@@ -237,6 +252,31 @@ class TotemProcessor:
     # ------------------------------------------------------------------
 
     def _on_message(self, src, payload, size):
+        """Direct-bind entry point: filter foreign-ring frames, then decode.
+
+        Every datagram's frames all carry the sender ring's id, so peeking
+        the first header suffices.  The mux performs this same routing for
+        co-hosted rings; here it protects a single-ring node from traffic
+        of rings it does not run (broadcast reaches every node).
+        """
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            try:
+                ring = peek_ring(payload)
+            except WireFormatError as err:
+                self.ep.emit(
+                    "totem.wire.error",
+                    {"node": self.node_id, "error": str(err)},
+                )
+                return
+            if ring != self.ring_id:
+                self.ep.emit(
+                    "totem.ring.mismatch",
+                    {"node": self.node_id, "ring_id": ring, "src": src},
+                )
+                return
+        self._on_frames(src, payload, size)
+
+    def _on_frames(self, src, payload, size):
         if self.state == "down":
             return
         if isinstance(payload, (bytes, bytearray, memoryview)):
@@ -282,14 +322,14 @@ class TotemProcessor:
         (the legacy estimate) is only used with ``wire_codec=False``.
         """
         if self.config.wire_codec:
-            data = wire_encode(message)
+            data = wire_encode(message, ring=self.ring_id)
             self.ep.broadcast(PORT, data, size=len(data))
         else:
             self.ep.broadcast(PORT, message, size=size)
 
     def _unicast(self, dst, message, size):
         if self.config.wire_codec:
-            data = wire_encode(message)
+            data = wire_encode(message, ring=self.ring_id)
             self.ep.send(dst, PORT, data, size=len(data))
         else:
             self.ep.send(dst, PORT, message, size=size)
@@ -302,7 +342,10 @@ class TotemProcessor:
         if self.state == "operational" and msg.ring == self.ring:
             self._note_progress()
             if self.store.insert(msg):
-                self.ep.emit("totem.data.stored", {"node": self.node_id, "seq": msg.seq})
+                self.ep.emit(
+                    "totem.data.stored",
+                    {"node": self.node_id, "seq": msg.seq, "ring_id": self.ring_id},
+                )
             self._try_deliver(self.store)
             return
         if self.state == "recovery":
@@ -338,7 +381,10 @@ class TotemProcessor:
                 self.proc_set.add(src)
                 self._membership_changed()
             return
-        self.ep.emit("totem.foreign", {"node": self.node_id, "src": src})
+        self.ep.emit(
+            "totem.foreign",
+            {"node": self.node_id, "src": src, "ring_id": self.ring_id},
+        )
         self._enter_gather("foreign traffic", extra_procs=(src,))
 
     def _try_deliver(self, store, installed=True):
@@ -360,7 +406,10 @@ class TotemProcessor:
             telemetry = getattr(self.ep, "telemetry", None)
             if telemetry is not None:
                 telemetry.span_mark(msg.span, "delivered", self.ep.now)
-        self.ep.emit("totem.deliver", {"node": self.node_id, "seq": msg.seq})
+        self.ep.emit(
+            "totem.deliver",
+            {"node": self.node_id, "seq": msg.seq, "ring_id": self.ring_id},
+        )
         self.on_deliver(
             DeliveredMessage(
                 msg.sender, msg.payload, msg.size, msg.ring.key(), msg.seq,
@@ -411,15 +460,18 @@ class TotemProcessor:
             if span is not None and telemetry is not None:
                 telemetry.span_mark(span, "sent", self.ep.now)
             if config.wire_codec and config.batching:
-                batch.append(wire_encode(msg))
+                batch.append(wire_encode(msg, ring=self.ring_id))
             else:
                 self._broadcast(msg, size)
             sent += 1
         if batch:
-            data = batch[0] if len(batch) == 1 else encode_batch(batch)
+            data = (batch[0] if len(batch) == 1
+                    else encode_batch(batch, ring=self.ring_id))
             if len(batch) > 1:
                 self.ep.emit(
-                    "totem.batch", {"node": self.node_id, "n": len(batch)}, len(data)
+                    "totem.batch",
+                    {"node": self.node_id, "n": len(batch), "ring_id": self.ring_id},
+                    len(data),
                 )
             self.ep.broadcast(PORT, data, size=len(data))
 
@@ -508,7 +560,10 @@ class TotemProcessor:
             if self._token_retransmits >= self.config.token_retransmit_limit:
                 return  # give up; the loss timer will trigger membership
             self._token_retransmits += 1
-            self.ep.emit("totem.token.retransmit", {"node": self.node_id})
+            self.ep.emit(
+                "totem.token.retransmit",
+                {"node": self.node_id, "ring_id": self.ring_id},
+            )
             self._unicast(successor, self._forwarded_token.copy(), size)
             self._retransmit_timer = self.ep.timer(
                 self.config.token_retransmit_timeout, retransmit, "token.retry"
@@ -525,7 +580,10 @@ class TotemProcessor:
 
         def lost():
             if self.state == "operational" and self.ring == ring:
-                self.ep.emit("totem.token.lost", {"node": self.node_id})
+                self.ep.emit(
+                    "totem.token.lost",
+                    {"node": self.node_id, "ring_id": self.ring_id},
+                )
                 self._enter_gather("token loss")
 
         self._loss_timer = self.ep.timer(
@@ -576,7 +634,10 @@ class TotemProcessor:
     def _enter_gather(self, reason, extra_procs=()):
         self._cancel_timers()
         self.state = "gather"
-        self.ep.emit("totem.gather", {"node": self.node_id, "reason": reason})
+        self.ep.emit(
+            "totem.gather",
+            {"node": self.node_id, "reason": reason, "ring_id": self.ring_id},
+        )
         self.proc_set = {self.node_id} | set(extra_procs)
         if self.ring is not None:
             # Seed the candidate set with the previous ring's membership:
@@ -633,7 +694,12 @@ class TotemProcessor:
             if silent:
                 self.fail_set.update(silent)
                 self.ep.emit(
-                    "totem.fail_set", {"node": self.node_id, "failed": sorted(silent)}
+                    "totem.fail_set",
+                    {
+                        "node": self.node_id,
+                        "failed": sorted(silent),
+                        "ring_id": self.ring_id,
+                    },
                 )
                 self._singleton_allowed = True
                 self._membership_changed()
@@ -725,7 +791,8 @@ class TotemProcessor:
         self._last_commit_hop = {}
         self.ep.emit(
             "totem.consensus",
-            {"node": self.node_id, "ring": self.pending_ring.key()},
+            {"node": self.node_id, "ring": self.pending_ring.key(),
+             "ring_id": self.ring_id},
         )
         if self._join_timer is not None:
             self._join_timer.cancel()
@@ -759,7 +826,10 @@ class TotemProcessor:
 
         def timeout():
             if self.state in ("commit", "recovery") and self.pending_ring == pending:
-                self.ep.emit("totem.commit.timeout", {"node": self.node_id})
+                self.ep.emit(
+                    "totem.commit.timeout",
+                    {"node": self.node_id, "ring_id": self.ring_id},
+                )
                 self._enter_gather("commit timeout")
 
         self._commit_timer = self.ep.timer(self.config.commit_timeout, timeout, "commit")
@@ -788,7 +858,10 @@ class TotemProcessor:
                 return
             self._commit_retransmits += 1
             successor, token, size = self._commit_sent
-            self.ep.emit("totem.commit.retransmit", {"node": self.node_id})
+            self.ep.emit(
+                "totem.commit.retransmit",
+                {"node": self.node_id, "ring_id": self.ring_id},
+            )
             self._unicast(successor, token.copy(), size)
             self._arm_commit_retry()
 
@@ -863,7 +936,8 @@ class TotemProcessor:
         self._old_store = self.store
         self.ep.emit(
             "totem.recovery.enter",
-            {"node": self.node_id, "ring": self.pending_ring.key()},
+            {"node": self.node_id, "ring": self.pending_ring.key(),
+             "ring_id": self.ring_id},
         )
         my_info = self._recovery_infos[self.node_id]
         if my_info.old_ring_key is None or self._old_store is None:
@@ -930,7 +1004,10 @@ class TotemProcessor:
                 return
             my_key = self._recovery_infos[self.node_id].old_ring_key
             request = RecoveryRequest(my_key, missing, self.node_id)
-            self.ep.emit("totem.recovery.request", {"node": self.node_id, "n": len(missing)})
+            self.ep.emit(
+                "totem.recovery.request",
+                {"node": self.node_id, "n": len(missing), "ring_id": self.ring_id},
+            )
             self._broadcast(request, self.config.max_message_bytes + 8 * len(missing))
             self._arm_recovery_timer()
 
@@ -995,7 +1072,8 @@ class TotemProcessor:
 
         self.on_config(RegularConfiguration(new_ring.key(), new_ring.members))
         self.ep.emit(
-            "totem.install", {"node": self.node_id, "ring": new_ring.key()}
+            "totem.install",
+            {"node": self.node_id, "ring": new_ring.key(), "ring_id": self.ring_id},
         )
 
         self._cancel_timers()

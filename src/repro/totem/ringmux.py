@@ -1,0 +1,73 @@
+"""Ring multiplexer: several Totem rings sharing one endpoint.
+
+A node that participates in more than one ring runs one
+:class:`~repro.totem.processor.TotemProcessor` per ring, but the runtime
+endpoint has a single ``"totem"`` port.  The :class:`RingMux` owns that
+binding: it peeks the ring id carried in the wire-frame header
+(:func:`repro.wire.framing.peek_ring`) and hands the datagram to the
+matching ring's processor without decoding any message bodies, so
+co-hosted rings multiplex the endpoint with no cross-talk.
+
+Datagrams for a ring this node does not run are dropped with a
+``totem.ring.mismatch`` event -- in a sharded domain every broadcast
+reaches every node, so drops of foreign-ring traffic are routine, and
+the event counter is how per-ring traffic attribution sees them.
+
+Legacy object-mode traffic (``wire_codec=False``) carries no ring id and
+is routed to the lowest registered ring; multi-ring topologies require
+the wire codec.
+"""
+
+from repro.wire.framing import WireFormatError, peek_ring
+
+PORT = "totem"
+
+
+class RingMux:
+    """Binds the shared Totem port and routes datagrams by ring id."""
+
+    def __init__(self, endpoint):
+        self.ep = endpoint
+        self.node_id = endpoint.node_id
+        self._handlers = {}
+        self.ep.bind(PORT, self._on_message)
+
+    def register(self, ring_id, handler):
+        """Register ``handler(src, payload, size)`` for one ring id."""
+        if ring_id in self._handlers:
+            raise ValueError(
+                "ring %d already registered on node %s" % (ring_id, self.node_id))
+        self._handlers[ring_id] = handler
+
+    def ensure_bound(self):
+        """Re-claim the port binding (endpoint bindings reset on crash)."""
+        self.ep.bind(PORT, self._on_message)
+
+    @property
+    def ring_ids(self):
+        return tuple(sorted(self._handlers))
+
+    def _on_message(self, src, payload, size):
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            try:
+                ring = peek_ring(payload)
+            except WireFormatError as err:
+                self.ep.emit(
+                    "totem.wire.error",
+                    {"node": self.node_id, "error": str(err)},
+                )
+                return
+            handler = self._handlers.get(ring)
+            if handler is None:
+                self.ep.emit(
+                    "totem.ring.mismatch",
+                    {"node": self.node_id, "ring_id": ring, "src": src},
+                )
+                return
+        else:
+            # Legacy raw-object mode has no ring field on the wire.
+            handler = self._handlers[min(self._handlers)]
+        handler(src, payload, size)
+
+    def __repr__(self):
+        return "RingMux(%s, rings=%s)" % (self.node_id, list(self.ring_ids))

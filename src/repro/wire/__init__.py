@@ -33,6 +33,7 @@ from repro.wire.framing import (
     HEADER_BYTES,
     KIND_BATCH,
     MAGIC,
+    MAX_RING,
     VERSION,
     Frame,
     WireFormatError,
@@ -40,6 +41,7 @@ from repro.wire.framing import (
     encode_batch,
     encode_frame,
     iter_frames,
+    peek_ring,
 )
 
 __all__ = [
@@ -47,9 +49,11 @@ __all__ = [
     "HEADER_BYTES",
     "KIND_BATCH",
     "MAGIC",
+    "MAX_RING",
     "VERSION",
     "WireFormatError",
     "decode_frame",
+    "peek_ring",
     "decode_one",
     "decode_payload",
     "encode",

@@ -95,12 +95,16 @@ _DECODE_ERRORS = (
 )
 
 
-def encode(message):
-    """Encode one registered message object into a framed byte string."""
+def encode(message, ring=0):
+    """Encode one registered message object into a framed byte string.
+
+    ``ring`` stamps the frame header's ring id (see
+    :mod:`repro.wire.framing`); ringless traffic leaves it at 0.
+    """
     kind = kind_of(message)
     enc = CdrEncoder()
     message.encode_wire(enc)
-    return encode_frame(kind, enc.getvalue())
+    return encode_frame(kind, enc.getvalue(), ring=ring)
 
 
 def _decode_body(frame):

@@ -2,16 +2,23 @@
 
 A frame is::
 
-    +-------+---------+------+-------+-------------+----------------+
-    | magic | version | kind | flags | body length | body ...       |
-    | 2 B   | 1 B     | 1 B  | 2 B   | 4 B         | length bytes   |
-    +-------+---------+------+-------+-------------+----------------+
+    +-------+---------+------+-------+------+-------------+----------------+
+    | magic | version | kind | flags | ring | body length | body ...       |
+    | 2 B   | 1 B     | 1 B  | 2 B   | 2 B  | 4 B         | length bytes   |
+    +-------+---------+------+-------+------+-------------+----------------+
 
 All header fields are big-endian.  ``magic`` is ``b"RW"`` (Repro Wire),
-``version`` is currently 1, ``kind`` identifies the message codec (see
+``version`` is currently 2, ``kind`` identifies the message codec (see
 :mod:`repro.wire.codec` for the registry), ``flags`` are reserved
-per-kind bits, and the body is an opaque byte sequence owned by the
-codec for that kind.
+per-kind bits, ``ring`` names the Totem ring the frame belongs to (0 for
+ringless traffic such as the ORB transport), and the body is an opaque
+byte sequence owned by the codec for that kind.
+
+Version 2 added the ``ring`` field so several independent Totem rings
+can multiplex one endpoint without cross-talk: a receiver peeks the ring
+id (:func:`peek_ring`) and routes the datagram to the matching ring's
+processor before any body decoding happens.  Version 1 frames (no ring
+field) are not accepted -- the whole domain speaks one version.
 
 Decoding is zero-copy: :class:`Frame` bodies are :class:`memoryview`
 slices of the received buffer, so a batch of N messages (kind
@@ -26,10 +33,13 @@ letting :mod:`struct` or a codec unpack garbage.
 import struct
 
 MAGIC = b"RW"
-VERSION = 1
+VERSION = 2
 
-_HEADER = struct.Struct(">2sBBHI")
+_HEADER = struct.Struct(">2sBBHHI")
 HEADER_BYTES = _HEADER.size
+
+#: Largest ring id the 2-byte wire field can carry.
+MAX_RING = 0xFFFF
 
 #: Frame kind reserved by the framing layer itself: the body is a
 #: concatenation of complete frames (one level deep; batches never nest).
@@ -43,24 +53,27 @@ class WireFormatError(Exception):
 class Frame:
     """A decoded frame header plus a zero-copy view of its body."""
 
-    __slots__ = ("kind", "flags", "body")
+    __slots__ = ("kind", "flags", "ring", "body")
 
-    def __init__(self, kind, flags, body):
+    def __init__(self, kind, flags, ring, body):
         self.kind = kind
         self.flags = flags
+        self.ring = ring
         self.body = body
 
     def __repr__(self):
-        return "Frame(kind=0x%02x, flags=0x%04x, body=%dB)" % (
-            self.kind, self.flags, len(self.body),
+        return "Frame(kind=0x%02x, flags=0x%04x, ring=%d, body=%dB)" % (
+            self.kind, self.flags, self.ring, len(self.body),
         )
 
 
-def encode_frame(kind, body, flags=0):
+def encode_frame(kind, body, flags=0, ring=0):
     """Wrap ``body`` (bytes-like) in a frame header; returns bytes."""
     if not 0 <= kind <= 0xFF:
         raise WireFormatError("frame kind 0x%x out of range" % kind)
-    return _HEADER.pack(MAGIC, VERSION, kind, flags, len(body)) + bytes(body)
+    if not 0 <= ring <= MAX_RING:
+        raise WireFormatError("frame ring %r out of range" % (ring,))
+    return _HEADER.pack(MAGIC, VERSION, kind, flags, ring, len(body)) + bytes(body)
 
 
 def decode_frame(data, offset=0):
@@ -74,7 +87,7 @@ def decode_frame(data, offset=0):
         raise WireFormatError(
             "truncated frame header: %d bytes at offset %d"
             % (len(view) - offset, offset))
-    magic, version, kind, flags, length = _HEADER.unpack_from(view, offset)
+    magic, version, kind, flags, ring, length = _HEADER.unpack_from(view, offset)
     if magic != MAGIC:
         raise WireFormatError("bad frame magic %r" % (bytes(magic),))
     if version != VERSION:
@@ -85,7 +98,18 @@ def decode_frame(data, offset=0):
         raise WireFormatError(
             "truncated frame body: need %d bytes, have %d"
             % (length, len(view) - body_start))
-    return Frame(kind, flags, view[body_start:body_end]), body_end
+    return Frame(kind, flags, ring, view[body_start:body_end]), body_end
+
+
+def peek_ring(data):
+    """The ring id of the first frame in ``data``, without body decoding.
+
+    Validates the header (magic, version, length) of the first frame only;
+    used by the ring multiplexer to route a datagram before its owner
+    decodes the bodies.
+    """
+    frame, _next = decode_frame(data, 0)
+    return frame.ring
 
 
 def iter_frames(data):
@@ -97,6 +121,6 @@ def iter_frames(data):
         yield frame
 
 
-def encode_batch(frames):
+def encode_batch(frames, ring=0):
     """Concatenate already-encoded frames into one ``KIND_BATCH`` frame."""
-    return encode_frame(KIND_BATCH, b"".join(frames))
+    return encode_frame(KIND_BATCH, b"".join(frames), ring=ring)

@@ -1,9 +1,11 @@
 """Tests for the gateway serving unreplicated external clients."""
 
+import zlib
+
 import pytest
 
 from repro.core import EternalSystem
-from repro.gateway import Gateway
+from repro.gateway import Gateway, GatewayTier
 from repro.orb import ORB, ApplicationError
 from repro.replication import GroupPolicy, ReplicationStyle
 from repro.workloads import BankAccount, Counter
@@ -94,3 +96,122 @@ def test_unknown_gateway_key_still_errors():
     bogus = IOR("IDL:X:1.0", [IIOPProfile("gw", 683, "gateway:nope")])
     with pytest.raises(ObjectNotExist):
         system.call(outside.stub(bogus).read())
+
+
+def test_forwarded_is_counter_backed():
+    system, gateway, exported, outside = gateway_system()
+    stub = outside.stub(exported)
+    system.call(stub.increment(1))
+    assert gateway.forwarded == 1
+    assert system.telemetry.metrics.counter("gateway.forwarded").value == 1
+    # It is a property over the metric, not a hand-rolled attribute.
+    assert "forwarded" not in vars(gateway)
+
+
+def test_reexport_replaces_binding_and_emits():
+    system, gateway, exported, outside = gateway_system()
+    assert system.sim.trace.count("gateway.export.replaced") == 0
+    again = gateway.export(system.manager.ior_of("ctr"))
+    assert system.sim.trace.count("gateway.export.replaced") == 1
+    assert (again.iiop_profiles()[0].object_key
+            == exported.iiop_profiles()[0].object_key)
+    # A first-time export of a different group does not emit.
+    other = system.create_replicated(
+        "ctr2", Counter, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    gateway.export(other)
+    assert system.sim.trace.count("gateway.export.replaced") == 1
+
+
+# ----------------------------------------------------------------------
+# The replicated gateway tier
+# ----------------------------------------------------------------------
+
+def tier_system(seed=0):
+    system = EternalSystem(
+        ["n1", "n2", "n3", "gw1", "gw2"], seed=seed
+    ).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    tier = GatewayTier("edge", [system.engine("gw1"), system.engine("gw2")])
+    system.run_for(0.5)  # let the tier's client-group joins propagate
+    exported = tier.export(ior)
+    outside_orb = ORB(system.net, system.net.add_node("outside"))
+    return system, tier, exported, outside_orb
+
+
+def test_tier_exports_every_gateway_with_rotation():
+    system, tier, exported, outside = tier_system()
+    profiles = exported.iiop_profiles()
+    assert sorted(p.host for p in profiles) == ["gw1", "gw2"]
+    start = zlib.crc32(b"gateway:ctr") % 2
+    assert profiles[0].host == ["gw1", "gw2"][start]
+    stub = outside.stub(exported)
+    assert system.call(stub.increment(2)) == 2
+    assert set(system.states_of("ctr").values()) == {2}
+
+
+def test_tier_reroutes_to_surviving_gateway_after_crash():
+    """Kill the gateway the client is connected to: the next request is
+    rerouted over the reference's remaining profile instead of failing."""
+    system, tier, exported, outside = tier_system()
+    primary = exported.iiop_profiles()[0].host
+    stub = outside.stub(exported)
+    assert system.call(stub.read()) == 0  # establishes the connection
+    system.crash(primary)
+    system.stabilize()
+    failovers_before = system.sim.trace.count("orb.profile.failover")
+    assert system.call(stub.increment(4), timeout=60.0) == 4
+    assert system.sim.trace.count("orb.profile.failover") > failovers_before
+    assert set(system.states_of("ctr").values()) == {4}
+
+
+def test_tier_kill_midflight_reroutes_and_suppresses_duplicate():
+    """Crash the gateway after it forwarded a request but before the reply
+    reached the client: the rerouted retry carries the same operation id,
+    so the domain executes the increment exactly once."""
+    system, tier, exported, outside = tier_system()
+    by_node = {g.orb.node_id: g for g in tier.gateways}
+    primary = exported.iiop_profiles()[0].host
+    stub = outside.stub(exported)
+    assert system.call(stub.read()) == 0
+    future = stub.increment(7)
+    forwarded_before = by_node[primary]._forwarded_local
+    for _ in range(2000):
+        if by_node[primary]._forwarded_local > forwarded_before:
+            break
+        system.run_for(0.0001)
+    assert by_node[primary]._forwarded_local > forwarded_before
+    assert not future.done()
+    system.crash(primary)
+    system.stabilize()
+    # A second request trips the dead connection's failure detection,
+    # rerouting it and the in-flight increment to the surviving gateway.
+    probe = stub.read()
+    assert system.call(future, timeout=60.0) == 7
+    assert system.call(probe, timeout=60.0) == 7
+    # Exactly-once: the rerouted duplicate was suppressed domain-wide.
+    assert set(system.states_of("ctr").values()) == {7}
+
+
+def test_same_operation_id_executes_once_across_gateways():
+    """Two gateway replicas forwarding the same logical request (same
+    derived operation id) yield one execution and the same reply."""
+    system, tier, exported, outside = tier_system()
+    ior = system.manager.ior_of("ctr")
+    op = ("g", tier.group, "outside", 1)
+    first = system.engine("gw1").invoke_group(
+        ior, "increment", (3,), operation_id=op, client_group=tier.group,
+    )
+    assert system.call(first) == 3
+    second = system.engine("gw2").invoke_group(
+        ior, "increment", (3,), operation_id=op, client_group=tier.group,
+    )
+    assert system.call(second) == 3
+    assert set(system.states_of("ctr").values()) == {3}

@@ -1,0 +1,240 @@
+"""The sharded replication domain: multiple Totem rings per cluster.
+
+The domain's object groups are placed onto independent shard rings (by
+deterministic hash or an explicit pin); each ring orders only its own
+groups' traffic, so one ring's faults or load do not stall the others,
+while operation identifiers keep cross-ring invocations exactly-once
+domain-wide.
+"""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle, RingMap
+from repro.workloads import BankAccount, Counter
+
+
+# ----------------------------------------------------------------------
+# RingMap placement
+# ----------------------------------------------------------------------
+
+def test_placement_is_deterministic_and_covers_rings():
+    rings = RingMap((0, 1, 2, 3))
+    names = ["grp-%d" % n for n in range(64)]
+    placed = {name: rings.placement(name) for name in names}
+    assert placed == {name: rings.placement(name) for name in names}
+    assert set(placed.values()) == {0, 1, 2, 3}
+
+
+def test_single_ring_map_places_everything_on_ring_zero():
+    rings = RingMap()
+    assert rings.ring_ids == (0,)
+    assert rings.ring_of("anything") == 0
+
+
+def test_assignment_pins_and_conflicts_raise():
+    rings = RingMap((0, 1))
+    rings.assign("ctr", 1)
+    assert rings.ring_of("ctr") == 1
+    assert rings.is_assigned("ctr")
+    assert not rings.is_assigned("other")
+    rings.assign("ctr", 1)  # re-assigning the same ring is idempotent
+    with pytest.raises(ValueError):
+        rings.assign("ctr", 0)
+    with pytest.raises(ValueError):
+        rings.assign("new", 7)  # not a ring of the topology
+
+
+# ----------------------------------------------------------------------
+# Ring-parallel topologies (every node runs every ring)
+# ----------------------------------------------------------------------
+
+def parallel_system(rings=2, seed=0):
+    system = EternalSystem(["n1", "n2", "n3"], seed=seed, rings=rings).start()
+    system.stabilize()
+    return system
+
+
+def test_groups_pinned_to_different_rings_both_serve():
+    system = parallel_system()
+    ior0 = system.create_replicated(
+        "g0", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+    )
+    ior1 = system.create_replicated(
+        "g1", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=1,
+    )
+    system.run_for(0.5)
+    assert system.ring_map.ring_of("g0") == 0
+    assert system.ring_map.ring_of("g1") == 1
+    assert system.call(system.stub("n1", ior0).increment(2)) == 2
+    assert system.call(system.stub("n2", ior1).increment(5)) == 5
+    assert set(system.states_of("g0").values()) == {2}
+    assert set(system.states_of("g1").values()) == {5}
+
+
+def test_default_placement_needs_no_pin():
+    system = parallel_system(rings=4)
+    ior = system.create_replicated(
+        "hash-placed", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    assert system.ring_map.ring_of("hash-placed") in (0, 1, 2, 3)
+    assert system.call(system.stub("n3", ior).increment(1)) == 1
+
+
+def test_ring_traffic_does_not_cross_talk():
+    """Each ring orders only its own groups: delivers carry the ring id
+    and no ring-mismatch drops occur in a healthy co-hosted topology."""
+    system = parallel_system()
+    ior0 = system.create_replicated(
+        "g0", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+    )
+    ior1 = system.create_replicated(
+        "g1", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=1,
+    )
+    system.run_for(0.5)
+    system.sim.trace.keep_records = True
+    system.call(system.stub("n1", ior0).increment(1))
+    system.call(system.stub("n1", ior1).increment(1))
+    rings_seen = {
+        event.detail["ring_id"]
+        for event in system.sim.trace.matching("totem.deliver")
+    }
+    assert rings_seen == {0, 1}
+    assert system.sim.trace.count("totem.ring.mismatch") == 0
+
+
+def test_spans_attribute_invocations_to_rings():
+    system = parallel_system()
+    ior0 = system.create_replicated(
+        "g0", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+    )
+    ior1 = system.create_replicated(
+        "g1", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=1,
+    )
+    system.run_for(0.5)
+    system.call(system.stub("n1", ior0).increment(1))
+    system.call(system.stub("n1", ior1).increment(1))
+    system.run_for(0.5)
+    spans = system.telemetry.spans
+    assert {span.ring for span in spans.complete_spans()} == {0, 1}
+    per_ring0 = spans.layer_durations(ring=0)
+    per_ring1 = spans.layer_durations(ring=1)
+    assert any(per_ring0.values()) and any(per_ring1.values())
+
+
+def test_cross_ring_nested_invocation_exactly_once():
+    """A replicated group on ring 0 invokes a group on ring 1: ordering is
+    per-ring but the operation identifiers keep the nested deposit
+    exactly-once domain-wide, and the reply crosses back to the caller's
+    ring."""
+    system = EternalSystem(["n1", "n2", "n3", "n4"], rings=2).start()
+    system.stabilize()
+    ior_a = system.create_replicated(
+        "acct-a", lambda: BankAccount("alice", 100), ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+    )
+    ior_b = system.create_replicated(
+        "acct-b", lambda: BankAccount("bob", 0), ["n3", "n4"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=1,
+    )
+    system.run_for(0.5)
+    stub = system.stub("n1", ior_a)
+    assert system.call(stub.transfer(ior_b.to_string(), 30), timeout=60.0) == 30
+    system.run_for(1.0)
+    for state in system.states_of("acct-a").values():
+        assert state["balance"] == 70
+    for state in system.states_of("acct-b").values():
+        assert state["balance"] == 30
+        # Exactly one deposit despite both of a's replicas invoking it.
+        assert state["history"] == [["deposit", 30]]
+
+
+# ----------------------------------------------------------------------
+# Disjoint rings: fault isolation
+# ----------------------------------------------------------------------
+
+DISJOINT = {0: ["n1", "n2", "n3"], 1: ["n4", "n5", "n6"]}
+
+
+def disjoint_system(seed=0):
+    system = EternalSystem(
+        ["n1", "n2", "n3", "n4", "n5", "n6"], seed=seed, rings=DISJOINT
+    ).start()
+    system.stabilize()
+    ior0 = system.create_replicated(
+        "g0", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+    )
+    ior1 = system.create_replicated(
+        "g1", Counter, ["n4", "n5", "n6"],
+        GroupPolicy(style=ReplicationStyle.ACTIVE), ring=1,
+    )
+    system.run_for(0.5)
+    return system, ior0, ior1
+
+
+def test_disjoint_topology_runs_one_processor_per_ring():
+    system, _ior0, _ior1 = disjoint_system()
+    assert sorted(system.nodes["n1"].processors) == [0]
+    assert sorted(system.nodes["n5"].processors) == [1]
+    assert system.rings_of_node("n2") == (0,)
+    assert system.rings_of_node("n6") == (1,)
+
+
+def test_crash_in_one_ring_leaves_the_other_progressing():
+    system, ior0, ior1 = disjoint_system()
+    stub0 = system.stub("n1", ior0)
+    stub1 = system.stub("n4", ior1)
+    assert system.call(stub0.increment(1)) == 1
+    assert system.call(stub1.increment(1)) == 1
+    system.crash("n5")
+    # Ring 0 progresses while ring 1 is mid-reconfiguration.
+    assert system.call(stub0.increment(1)) == 2
+    system.stabilize()
+    # Ring 1 recovers with its surviving members.
+    assert system.call(stub1.increment(1)) == 2
+    assert set(system.states_of("g0").values()) == {2}
+    assert system.states_of("g1")["n4"] == 2
+
+
+def test_partition_in_one_ring_leaves_the_other_progressing():
+    system, ior0, ior1 = disjoint_system()
+    stub0 = system.stub("n1", ior0)
+    stub1 = system.stub("n4", ior1)
+    assert system.call(stub0.increment(1)) == 1
+    assert system.call(stub1.increment(1)) == 1
+    # Split ring 1's nodes apart; ring 0's component stays whole.
+    system.partition([["n1", "n2", "n3", "n4"], ["n5", "n6"]])
+    system.stabilize()
+    for expected in (2, 3, 4):
+        assert system.call(stub0.increment(1)) == expected
+    system.merge()
+    system.stabilize()
+    system.run_for(1.0)
+    assert system.call(stub1.increment(1)) == 2
+    assert set(system.states_of("g0").values()) == {4}
+
+
+def test_invoking_a_foreign_ring_group_raises():
+    """A node that does not run a group's ring cannot multicast to it;
+    external clients reach such groups through the gateway tier."""
+    system, _ior0, ior1 = disjoint_system()
+    with pytest.raises(ValueError):
+        system.stub("n1", ior1).increment(1)
+
+
+def test_create_replicated_rejects_locations_off_the_ring():
+    system, _ior0, _ior1 = disjoint_system()
+    with pytest.raises(ValueError):
+        system.create_replicated(
+            "bad", Counter, ["n1", "n4"],
+            GroupPolicy(style=ReplicationStyle.ACTIVE), ring=0,
+        )

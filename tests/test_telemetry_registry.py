@@ -93,6 +93,6 @@ def test_validate_rejects_undeclared_detail_keys():
 
 
 def test_registration_is_idempotent_but_checks_keys():
-    events.register_category("totem.deliver", ("node", "seq"))
+    events.register_category("totem.deliver", ("node", "seq", "ring_id"))
     with pytest.raises(ValueError):
         events.register_category("totem.deliver", ("node",))

@@ -39,9 +39,11 @@ from repro.wire.codec import (
 from repro.wire.framing import (
     HEADER_BYTES,
     KIND_BATCH,
+    MAX_RING,
     WireFormatError,
     encode_batch,
     encode_frame,
+    peek_ring,
 )
 
 # ----------------------------------------------------------------------
@@ -307,3 +309,41 @@ def test_header_size_constant():
     frame = encode(AckSegment("c", 0))
     assert frame[:2] == b"RW"
     assert len(frame) >= HEADER_BYTES
+
+
+# ----------------------------------------------------------------------
+# Ring id (version 2 header field)
+# ----------------------------------------------------------------------
+
+@given(any_message, st.integers(min_value=0, max_value=MAX_RING))
+@settings(max_examples=60, deadline=None)
+def test_ring_id_rides_the_header(message, ring):
+    frame = encode(message, ring=ring)
+    assert peek_ring(frame) == ring
+    assert_equal_fields(decode_one(frame), message)
+
+
+def test_default_ring_is_zero():
+    assert peek_ring(encode(AckSegment("c1", 3))) == 0
+
+
+def test_batch_carries_ring_id():
+    frames = [encode(AckSegment("c1", n), ring=9) for n in range(3)]
+    data = encode_batch(frames, ring=9)
+    assert peek_ring(data) == 9
+    assert len(decode_payload(data)) == 3
+
+
+def test_ring_out_of_range_rejected():
+    with pytest.raises(WireFormatError):
+        encode_frame(KIND_BATCH, b"", ring=MAX_RING + 1)
+    with pytest.raises(WireFormatError):
+        encode_frame(KIND_BATCH, b"", ring=-1)
+
+
+def test_peek_ring_rejects_malformed_header():
+    frame = encode(AckSegment("c1", 3), ring=4)
+    with pytest.raises(WireFormatError):
+        peek_ring(frame[: HEADER_BYTES - 1])
+    with pytest.raises(WireFormatError):
+        peek_ring(b"XX" + frame[2:])
