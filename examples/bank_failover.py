@@ -3,16 +3,18 @@
 
 Two bank-account object groups with warm passive replication.  A client
 runs transfers (nested operations: a withdrawal at one group invokes a
-deposit at the other).  We crash the primary of one group mid-workload:
-the backup takes over using the state-update stream, in-flight operations
-complete exactly once, and the fault-management plane recruits a spare
-node to restore the replication degree.
+deposit at the other).  A declarative :class:`FaultPlan` crashes the
+primary of one group mid-workload: the backup takes over using the
+state-update stream, in-flight operations complete exactly once, and the
+fault-management plane recruits a spare node to restore the replication
+degree.
 
 Run:  python examples/bank_failover.py
 """
 
 from repro.core import EternalSystem
 from repro.replication import GroupPolicy, ReplicationStyle
+from repro.simnet.faults import FaultPlan
 from repro.workloads import BankAccount
 
 
@@ -53,8 +55,14 @@ def main():
     print("  alice: %s" % balances(system, "alice"))
     print("  bob:   %s" % balances(system, "bob"))
 
-    print("\n--- Crashing n1, the primary of alice's group ---")
-    system.crash("n1")
+    print("\n--- Arming a fault plan: crash n1, the primary of alice's "
+          "group ---")
+    # The fault is declared as a schedule rather than called imperatively:
+    # the same plan can be reused, exported, or generated from a seed by
+    # the chaos subsystem (repro.chaos).
+    plan = FaultPlan().crash(0.25, "n1")
+    plan.arm(system.net, offset=system.sim.now)
+    system.run_for(0.5)
     system.stabilize()
     print("  n2 promoted to primary (deterministic election on the view).")
 

@@ -4,11 +4,14 @@
 A plain CORBA client -- an ordinary ORB on a node that runs no group
 communication at all -- invokes a replicated key-value store through a
 gateway node.  The exported reference is a standard IIOP IOR; the client
-has no idea replication exists, and keeps working across a replica crash.
+has no idea replication exists, and keeps working across a replica crash
+delivered by a seeded chaos campaign (the same mechanism the E12 chaos
+benchmark uses, scaled down to one crash).
 
 Run:  python examples/gateway_clients.py
 """
 
+from repro.chaos import CampaignSpec, ChaosCampaign, SimInjector
 from repro.core import EternalSystem
 from repro.gateway import Gateway
 from repro.orb import ORB
@@ -48,8 +51,17 @@ def main():
     for node, state in sorted(system.states_of("kvstore").items()):
         print("  %-3s keys=%s" % (node, sorted(state)))
 
-    print("\nCrashing replica r2; the external client never notices:")
-    system.crash("r2")
+    print("\nArming a one-crash chaos campaign against replica r2; the "
+          "external client never notices:")
+    campaign = ChaosCampaign(CampaignSpec(
+        nodes=["r1", "r2", "r3", "gw"], seed=1, start=0.25, duration=1.0,
+        crashes=1, crash_targets=("r2",), partitions=0, loss_bursts=0,
+        latency_spikes=0, slow_nodes=0, capabilities=("crash",),
+    ))
+    for event in campaign.events():
+        print("  scheduled: %r" % event)
+    SimInjector(system.runtime).arm(campaign)
+    system.run_for(campaign.end_time + 0.5)
     system.stabilize()
     system.call(stub.put("delta", 5))
     print("  put('delta', 5) after the crash -> size() = %d"

@@ -1,0 +1,40 @@
+"""Chaos campaigns: seeded, generative fault schedules plus the
+post-mortem machinery that decides whether the system survived them.
+
+The package turns the one-shot :class:`~repro.simnet.faults.FaultPlan`
+into an experiment harness:
+
+- :class:`CampaignSpec` / :class:`ChaosCampaign` -- declare the shape of
+  the adversity, expand it deterministically from a seed.
+- :class:`SimInjector` / :class:`ProcessInjector` -- apply the schedule
+  to the simulated network or to live OS processes (SIGKILL/SIGSTOP).
+- :class:`InvariantChecker` -- replay ledgers, states, and the flight
+  recorder to verify exactly-once execution, replica convergence, and
+  bounded failover.
+- :func:`build_slo_report` -- availability, latency percentiles, and
+  failover durations as JSON-friendly data.
+"""
+
+from repro.chaos.campaign import (
+    PROCESS_CAPABILITIES,
+    SIM_CAPABILITIES,
+    CampaignSpec,
+    ChaosCampaign,
+)
+from repro.chaos.injectors import ProcessInjector, SimInjector
+from repro.chaos.invariants import InvariantChecker, InvariantReport, Violation
+from repro.chaos.slo import build_slo_report, format_slo_report
+
+__all__ = [
+    "SIM_CAPABILITIES",
+    "PROCESS_CAPABILITIES",
+    "CampaignSpec",
+    "ChaosCampaign",
+    "SimInjector",
+    "ProcessInjector",
+    "InvariantChecker",
+    "InvariantReport",
+    "Violation",
+    "build_slo_report",
+    "format_slo_report",
+]

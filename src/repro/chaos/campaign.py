@@ -1,0 +1,264 @@
+"""Seeded, generative chaos campaigns.
+
+A :class:`CampaignSpec` declares the *shape* of the adversity an
+experiment should survive -- how many crashes, whether a partition
+heals, how hard the loss bursts hit -- and a :class:`ChaosCampaign`
+expands that shape into a concrete :class:`~repro.simnet.faults.FaultPlan`
+schedule, deterministically from the spec's seed.  The same (spec, seed)
+pair always yields the identical schedule, byte-for-byte in its JSON
+export, so a campaign that caught a bug is a campaign that reproduces it.
+
+Campaigns are runtime-agnostic: the schedule itself is plain data.  On
+the simulated runtime the whole fault vocabulary is available and the
+plan arms on the simnet network; on the real-socket runtime a
+:class:`~repro.chaos.injectors.ProcessInjector` applies the subset of
+kinds an OS process can experience (SIGKILL for crash, SIGSTOP/SIGCONT
+for slow-node windows, respawn for recovery).  ``capabilities`` filters
+generation down to what the target substrate can inject.
+
+Timeline layout: crash and partition windows are laid out in disjoint
+slices of ``[start, start + duration)`` so at most one node-removing
+fault is in force at a time (a campaign stresses the recovery machinery,
+not the replication degree); loss bursts, latency spikes, and slow-node
+windows are overlaid anywhere in the interval, including on top of the
+crash windows.
+"""
+
+import json
+
+from repro.simnet.faults import FAULT_KINDS, FaultPlan
+from repro.simnet.rng import RngStreams
+
+#: Everything the simulated network can inject.
+SIM_CAPABILITIES = frozenset(FAULT_KINDS)
+
+#: What a process-level injector can do to a live OS process.
+PROCESS_CAPABILITIES = frozenset(("crash", "recover", "slow"))
+
+
+def _round(value):
+    """Schedule times/magnitudes rounded for stable JSON export."""
+    return round(value, 6)
+
+
+class CampaignSpec:
+    """Declarative shape of one chaos campaign.
+
+    Args:
+        nodes: every node id of the topology (partitions must cover all).
+        seed: master seed for the generative draws.
+        start: quiet lead-in before the first fault, seconds from arm.
+        duration: length of the fault window, seconds.
+        crashes: how many crash+recover cycles to schedule.
+        crash_targets: nodes eligible to crash (default: all ``nodes``);
+            keep gateways, detectors, and client hosts out of this pool.
+        downtime: (lo, hi) seconds a crashed node stays down.
+        partitions: how many partition+remerge cycles to schedule.
+        partition_targets: nodes eligible to be islanded by a partition
+            (default: ``crash_targets``).
+        heal: (lo, hi) seconds a partition stays in force.
+        loss_bursts / loss_rate / loss_duration: count and (lo, hi)
+            ranges of extra-loss windows.
+        latency_spikes / latency_extra / latency_duration: count and
+            ranges of extra-latency windows.
+        slow_nodes / slow_delay / slow_duration: count and ranges of
+            slow-node (delayed delivery / SIGSTOP) windows; victims are
+            drawn from ``crash_targets``.
+        capabilities: fault kinds the target substrate can inject;
+            generation silently skips the rest of the vocabulary.
+    """
+
+    def __init__(self, nodes, seed=0, start=2.0, duration=20.0,
+                 crashes=2, crash_targets=None, downtime=(1.0, 2.5),
+                 partitions=1, partition_targets=None, heal=(2.0, 4.0),
+                 loss_bursts=1, loss_rate=(0.05, 0.15),
+                 loss_duration=(1.0, 2.0),
+                 latency_spikes=1, latency_extra=(0.5e-3, 2e-3),
+                 latency_duration=(1.0, 2.0),
+                 slow_nodes=1, slow_delay=(1e-3, 3e-3),
+                 slow_duration=(1.0, 2.0),
+                 capabilities=SIM_CAPABILITIES):
+        self.nodes = tuple(nodes)
+        if not self.nodes:
+            raise ValueError("a campaign needs at least one node")
+        self.seed = seed
+        self.start = start
+        self.duration = duration
+        self.crashes = crashes
+        self.crash_targets = tuple(crash_targets if crash_targets is not None
+                                   else self.nodes)
+        self.downtime = downtime
+        self.partitions = partitions
+        self.partition_targets = tuple(
+            partition_targets if partition_targets is not None
+            else self.crash_targets)
+        self.heal = heal
+        self.loss_bursts = loss_bursts
+        self.loss_rate = loss_rate
+        self.loss_duration = loss_duration
+        self.latency_spikes = latency_spikes
+        self.latency_extra = latency_extra
+        self.latency_duration = latency_duration
+        self.slow_nodes = slow_nodes
+        self.slow_delay = slow_delay
+        self.slow_duration = slow_duration
+        self.capabilities = frozenset(capabilities)
+        unknown = self.capabilities - SIM_CAPABILITIES
+        if unknown:
+            raise ValueError("unknown fault capabilities: %s" % sorted(unknown))
+        if (self.crashes and "crash" in self.capabilities
+                and not self.crash_targets):
+            raise ValueError("crashes requested but crash_targets is empty")
+        if (self.partitions and "partition" in self.capabilities
+                and not self.partition_targets):
+            raise ValueError("partitions requested but partition_targets "
+                             "is empty")
+
+    def supports(self, kind):
+        return kind in self.capabilities
+
+    def __repr__(self):
+        return ("CampaignSpec(seed=%r, %d nodes, crashes=%d, partitions=%d, "
+                "loss=%d, latency=%d, slow=%d)"
+                % (self.seed, len(self.nodes), self.crashes, self.partitions,
+                   self.loss_bursts, self.latency_spikes, self.slow_nodes))
+
+
+class ChaosCampaign:
+    """A concrete, seeded schedule generated from a :class:`CampaignSpec`.
+
+    The generated :class:`~repro.simnet.faults.FaultPlan` holds event
+    times *relative to arming*; :meth:`arm` shifts them onto the
+    simulator clock.  :meth:`to_json` is the canonical byte-stable
+    export used for reproducibility assertions.
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.plan = self._generate()
+
+    # -- generation ------------------------------------------------------
+
+    def _generate(self):
+        spec = self.spec
+        rng = RngStreams(spec.seed)
+        plan = FaultPlan()
+        self._generate_windows(plan, rng)
+        self._generate_overlays(plan, rng)
+        return plan
+
+    def _generate_windows(self, plan, rng):
+        """Crash and partition cycles over disjoint timeline slices."""
+        spec = self.spec
+        kinds = []
+        if spec.supports("crash"):
+            kinds += ["crash"] * spec.crashes
+        if spec.supports("partition"):
+            kinds += ["partition"] * spec.partitions
+        if not kinds:
+            return
+        kinds = rng.shuffled("chaos.windows", kinds)
+        slice_length = spec.duration / len(kinds)
+        crash_pool = rng.shuffled("chaos.crash.victims", spec.crash_targets)
+        crash_index = 0
+        for index, kind in enumerate(kinds):
+            slice_start = spec.start + index * slice_length
+            offset = rng.uniform("chaos.windows", 0.0, 0.2 * slice_length)
+            begin = _round(slice_start + offset)
+            if kind == "crash":
+                victim = crash_pool[crash_index % len(crash_pool)]
+                crash_index += 1
+                down = min(rng.uniform("chaos.crash", *spec.downtime),
+                           0.7 * slice_length)
+                plan.crash(begin, victim)
+                if spec.supports("recover"):
+                    plan.recover(_round(begin + down), victim)
+            else:
+                island = rng.choice("chaos.partition",
+                                    spec.partition_targets)
+                rest = [n for n in spec.nodes if n != island]
+                heal = min(rng.uniform("chaos.partition", *spec.heal),
+                           0.7 * slice_length)
+                plan.partition(begin, [rest, [island]])
+                if spec.supports("merge"):
+                    plan.merge(_round(begin + heal))
+
+    def _generate_overlays(self, plan, rng):
+        """Loss bursts, latency spikes, slow nodes anywhere in the window."""
+        spec = self.spec
+        if spec.supports("loss"):
+            for _ in range(spec.loss_bursts):
+                duration = rng.uniform("chaos.loss", *spec.loss_duration)
+                begin = rng.uniform("chaos.loss", spec.start,
+                                    spec.start + spec.duration - duration)
+                rate = rng.uniform("chaos.loss", *spec.loss_rate)
+                plan.loss_burst(_round(begin), _round(rate), _round(duration))
+        if spec.supports("latency"):
+            for _ in range(spec.latency_spikes):
+                duration = rng.uniform("chaos.latency", *spec.latency_duration)
+                begin = rng.uniform("chaos.latency", spec.start,
+                                    spec.start + spec.duration - duration)
+                extra = rng.uniform("chaos.latency", *spec.latency_extra)
+                plan.latency_spike(_round(begin), _round(extra),
+                                   _round(duration))
+        if spec.supports("slow"):
+            for _ in range(spec.slow_nodes):
+                duration = rng.uniform("chaos.slow", *spec.slow_duration)
+                begin = rng.uniform("chaos.slow", spec.start,
+                                    spec.start + spec.duration - duration)
+                victim = rng.choice("chaos.slow", spec.crash_targets)
+                delay = rng.uniform("chaos.slow", *spec.slow_delay)
+                plan.slow_node(_round(begin), victim, _round(delay),
+                               _round(duration))
+
+    # -- schedule access -------------------------------------------------
+
+    def events(self):
+        """The schedule in deterministic application order (relative times)."""
+        return self.plan.sorted_events()
+
+    @property
+    def end_time(self):
+        """Relative time of the last scheduled event (0.0 when empty)."""
+        events = self.events()
+        return events[-1].time if events else 0.0
+
+    def summary(self):
+        """Event counts by kind, JSON-friendly."""
+        counts = {}
+        for event in self.events():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {"seed": self.spec.seed, "events": len(self.events()),
+                "by_kind": counts}
+
+    def to_json(self):
+        """Canonical byte-stable JSON export of the schedule."""
+        return json.dumps(
+            {"seed": self.spec.seed,
+             "events": [event.to_dict() for event in self.events()]},
+            sort_keys=True, separators=(",", ":"))
+
+    # -- arming (simulated runtime) --------------------------------------
+
+    def arm(self, network, at=None):
+        """Arm the schedule on a simnet network, shifted to start ``at``.
+
+        ``at`` defaults to the network's current virtual time, making the
+        schedule's relative times offsets from "now".  Emits
+        ``chaos.campaign.start`` immediately and ``chaos.campaign.end``
+        once the last event has been applied.
+        """
+        sim = network.sim
+        at = sim.now if at is None else at
+        sim.emit("chaos.campaign.start",
+                 {"seed": self.spec.seed, "events": len(self.events())})
+        self.plan.arm(network, offset=at)
+        sim.schedule_at(at + self.end_time,
+                        lambda: sim.emit("chaos.campaign.end",
+                                         {"seed": self.spec.seed}),
+                        "chaos.campaign.end")
+        return self
+
+    def __repr__(self):
+        return "ChaosCampaign(seed=%r, %d events)" % (
+            self.spec.seed, len(self.events()))

@@ -1,0 +1,143 @@
+"""Injectors: apply a campaign schedule to a concrete substrate.
+
+Two substrates exist today.  :class:`SimInjector` arms the plan on the
+simulated network, where the full fault vocabulary is available and
+virtual time makes the application instants exact.  :class:`ProcessInjector`
+drives *live OS processes* hosting
+:class:`~repro.runtime.aio.AsyncioRuntime` nodes (the
+``examples/live_demo.py`` topology): crash becomes ``SIGKILL``, a
+slow-node window becomes ``SIGSTOP``/``SIGCONT``, and recovery respawns
+the process through a caller-supplied factory.  The same
+:class:`~repro.chaos.campaign.ChaosCampaign` therefore runs against both
+runtimes -- generate it with the substrate's capability set and hand it
+to the matching injector.
+"""
+
+import signal
+
+from repro.chaos.campaign import PROCESS_CAPABILITIES, SIM_CAPABILITIES
+
+
+class SimInjector:
+    """Arms a campaign on a :class:`~repro.runtime.sim.SimRuntime`."""
+
+    capabilities = SIM_CAPABILITIES
+
+    def __init__(self, runtime):
+        if getattr(runtime, "net", None) is None:
+            raise ValueError("SimInjector needs a runtime with a simnet "
+                             "network (got %r)" % (runtime,))
+        self.runtime = runtime
+        self.injections = []
+
+    def arm(self, campaign, at=None):
+        """Schedule every event; returns the campaign for chaining."""
+        net = self.runtime.net
+        base = self.runtime.now if at is None else at
+        self.injections = [(base + event.time, event.kind, event.target)
+                           for event in campaign.events()]
+        return campaign.arm(net, at=base)
+
+
+class ProcessInjector:
+    """Applies campaign events to live node processes with signals.
+
+    Args:
+        runtime: the client-side :class:`~repro.runtime.aio.AsyncioRuntime`
+            (its loop provides wall-clock timers, its trace the telemetry).
+        processes: mapping of node id -> ``subprocess.Popen``.
+        spawn: optional ``spawn(node_id) -> Popen`` used to respawn a
+            killed node for ``recover`` events.  Campaigns containing
+            recover events are rejected at arm time when absent.
+
+    Event mapping: ``crash`` -> SIGKILL (+ wait), ``recover`` ->
+    respawn, ``slow`` with a positive delay -> SIGSTOP, ``slow`` with
+    delay 0 -> SIGCONT.  Everything else (partitions, loss, latency) is
+    not injectable at process level and is rejected at arm time --
+    generate the campaign with ``capabilities=PROCESS_CAPABILITIES``.
+    """
+
+    capabilities = PROCESS_CAPABILITIES
+
+    def __init__(self, runtime, processes, spawn=None):
+        self.runtime = runtime
+        self.processes = dict(processes)
+        self.spawn = spawn
+        self.injections = []
+        self._timers = []
+
+    def validate(self, campaign):
+        for event in campaign.events():
+            if event.kind not in self.capabilities:
+                raise ValueError(
+                    "process injector cannot apply %r events; generate the "
+                    "campaign with capabilities=PROCESS_CAPABILITIES"
+                    % event.kind)
+            if event.kind == "recover" and self.spawn is None:
+                raise ValueError(
+                    "campaign contains recover events but no spawn factory "
+                    "was given")
+            if event.target not in self.processes:
+                raise ValueError("unknown node process %r" % (event.target,))
+        return campaign
+
+    def arm(self, campaign):
+        """Schedule the campaign's events on the runtime's event loop."""
+        self.validate(campaign)
+        self.runtime.emit("chaos.campaign.start",
+                          {"seed": campaign.spec.seed,
+                           "events": len(campaign.events())})
+        loop = self.runtime.loop
+        for event in campaign.events():
+            self._timers.append(loop.call_later(
+                max(event.time, 0.0),
+                lambda e=event: self._apply(e),
+            ))
+        self._timers.append(loop.call_later(
+            campaign.end_time,
+            lambda: self.runtime.emit("chaos.campaign.end",
+                                      {"seed": campaign.spec.seed}),
+        ))
+        return campaign
+
+    def cancel(self):
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
+
+    # -- application -----------------------------------------------------
+
+    def _apply(self, event):
+        self.runtime.emit("chaos.inject", {
+            "kind": event.kind,
+            "target": repr(event.target),
+            "param": event.param,
+        })
+        self.injections.append((self.runtime.now, event.kind, event.target))
+        if event.kind == "crash":
+            self._signal(event.target, signal.SIGKILL, wait=True)
+        elif event.kind == "recover":
+            self.processes[event.target] = self.spawn(event.target)
+            self.runtime.emit("chaos.process.respawn",
+                              {"node": event.target})
+        elif event.kind == "slow":
+            if event.param:
+                self._signal(event.target, signal.SIGSTOP)
+            else:
+                self._signal(event.target, signal.SIGCONT)
+
+    def _signal(self, node_id, signum, wait=False):
+        process = self.processes[node_id]
+        if process.poll() is not None:
+            return  # already exited; nothing to signal
+        process.send_signal(signum)
+        self.runtime.emit("chaos.process.signal",
+                          {"node": node_id,
+                           "signal": signal.Signals(signum).name})
+        if wait:
+            process.wait()
+
+    def crash_times(self):
+        """(node, wall time) pairs of applied crash events, for invariants."""
+        return [(node, when) for when, kind, node in self.injections
+                if kind == "crash"]

@@ -1,0 +1,172 @@
+"""Post-campaign invariant checking over telemetry and app ledgers.
+
+A chaos campaign is only as good as the questions asked afterwards.
+This module replays what the run left behind -- the flight recorder's
+event window, the OLTP servants' operation ledgers, the replicas' final
+states -- and checks the three properties the paper's system promises
+through faults:
+
+1. **Exactly-once operations.**  Every invocation the client observed as
+   successful executed at the servants at least once (nothing lost), and
+   no operation id executed more than once (infrastructure duplicates
+   were suppressed; see the op-id ledgers in
+   :mod:`repro.workloads.oltp`, which record at operation *entry* so a
+   re-executed operation shows up as a double entry even if it raised).
+2. **Replica-state convergence.**  After the campaign drains and
+   partitions remerge, every replica of every group holds the identical
+   state.
+3. **Bounded failover.**  Each node crash is followed by a new ring
+   installation within a bound; the measured durations also feed the
+   SLO report.
+
+Checks accumulate :class:`Violation` records into an
+:class:`InvariantReport`; an empty report means the run upheld its
+contract.
+"""
+
+
+class Violation:
+    """One broken invariant, with enough detail to chase it."""
+
+    __slots__ = ("invariant", "detail")
+
+    def __init__(self, invariant, detail):
+        self.invariant = invariant
+        self.detail = detail
+
+    def to_dict(self):
+        return {"invariant": self.invariant, "detail": self.detail}
+
+    def __repr__(self):
+        return "Violation(%s: %s)" % (self.invariant, self.detail)
+
+
+class InvariantReport:
+    """Accumulated outcome of every check run against one campaign."""
+
+    def __init__(self):
+        self.violations = []
+        self.checks = []
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def record(self, name):
+        self.checks.append(name)
+
+    def violate(self, invariant, detail):
+        self.violations.append(Violation(invariant, detail))
+
+    def summary(self):
+        return {
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def format(self):
+        lines = ["invariants: %s (%d checks)"
+                 % ("OK" if self.ok else "VIOLATED", len(self.checks))]
+        for violation in self.violations:
+            lines.append("  %s: %s" % (violation.invariant, violation.detail))
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Runs the standard post-campaign checks into one report."""
+
+    def __init__(self, report=None):
+        self.report = report if report is not None else InvariantReport()
+
+    # -- exactly-once ----------------------------------------------------
+
+    def check_operations(self, records, ledger):
+        """Client-observed outcomes against the servants' execution ledger.
+
+        ``records`` are OLTP request records (``op_id``/``ok`` attributes);
+        ``ledger`` maps op id -> times the servant *entered* the op.  A
+        successful record with no ledger entry is a lost operation; more
+        than one entry for any id is a duplicated execution.
+        """
+        self.report.record("operations")
+        for record in records:
+            if not record.ok:
+                continue
+            count = ledger.get(record.op_id, 0)
+            if count == 0:
+                self.report.violate("no-lost-operation", {
+                    "op_id": record.op_id, "operation": record.operation})
+            elif count > 1:
+                self.report.violate("no-duplicated-operation", {
+                    "op_id": record.op_id, "operation": record.operation,
+                    "executions": count})
+        return self.report
+
+    def check_no_duplicates(self, ledgers):
+        """No op id executed twice at any servant, regardless of outcome."""
+        self.report.record("no-duplicates")
+        for service, ledger in sorted(ledgers.items()):
+            for op_id, count in sorted(ledger.items()):
+                if count > 1:
+                    self.report.violate("no-duplicated-operation", {
+                        "service": service, "op_id": op_id,
+                        "executions": count})
+        return self.report
+
+    # -- convergence -----------------------------------------------------
+
+    def check_convergence(self, states_by_group):
+        """All replicas of each group hold identical state after remerge."""
+        self.report.record("convergence")
+        for group, states in sorted(states_by_group.items()):
+            if not states:
+                self.report.violate("replica-convergence", {
+                    "group": group, "reason": "no live replicas"})
+                continue
+            reference = states[0]
+            if any(state != reference for state in states[1:]):
+                self.report.violate("replica-convergence", {
+                    "group": group,
+                    "states": [repr(state) for state in states]})
+        return self.report
+
+    # -- failover --------------------------------------------------------
+
+    def check_failover(self, events, bound, crash_times=None):
+        """Each crash is followed by a ring installation within ``bound``.
+
+        ``events`` is the flight-recorder window: an iterable of
+        ``(time, category, detail, size)`` tuples.  Crash instants come
+        from ``node.crash`` events in that window, or -- for process-level
+        campaigns where the observer cannot see the remote kill -- from
+        an explicit ``crash_times`` list of ``(node, time)`` pairs.
+
+        Returns the list of measured failover durations (also recorded
+        on the checker as ``failover_durations``).
+        """
+        self.report.record("failover")
+        events = list(events)
+        crashes = list(crash_times or [])
+        if crash_times is None:
+            crashes = [(detail.get("node"), time)
+                       for time, category, detail, _size in events
+                       if category == "node.crash"]
+        installs = sorted(time for time, category, _detail, _size in events
+                          if category == "totem.install")
+        durations = []
+        for node, crashed_at in crashes:
+            after = [t for t in installs if t > crashed_at]
+            if not after:
+                self.report.violate("bounded-failover", {
+                    "node": node, "crashed_at": crashed_at,
+                    "reason": "no ring installed after crash"})
+                continue
+            duration = after[0] - crashed_at
+            durations.append(duration)
+            if duration > bound:
+                self.report.violate("bounded-failover", {
+                    "node": node, "crashed_at": crashed_at,
+                    "duration": duration, "bound": bound})
+        self.failover_durations = durations
+        return durations

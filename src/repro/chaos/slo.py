@@ -1,0 +1,105 @@
+"""SLO reporting: turn a chaos run's raw records into service metrics.
+
+The report answers the operator's questions about a campaign: what
+fraction of offered traffic got a correct answer (availability), what
+the latency distribution looked like under faults (p50/p95/p99), and
+how long the system took to fail over after each induced crash.  It is
+plain JSON-friendly data, emitted next to the benchmark results so CI
+can archive it per run.
+
+Availability counts application-level rejections (say, an account
+refusing an overdraft) as *available* -- the service answered correctly
+-- while transport-level failures and timeouts count against it.
+"""
+
+from repro.telemetry.metrics import percentile
+
+
+def _latency_stats(latencies):
+    if not latencies:
+        return {"count": 0}
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+
+
+def build_slo_report(records, failover_durations=(), campaign=None,
+                     invariants=None):
+    """Assemble the post-campaign SLO report.
+
+    Args:
+        records: OLTP request records (``ok`` / ``error`` / ``latency``
+            attributes; application rejections carry ``rejected=True``).
+        failover_durations: measured crash-to-reinstall durations from
+            :meth:`~repro.chaos.invariants.InvariantChecker.check_failover`.
+        campaign: optional :class:`~repro.chaos.campaign.ChaosCampaign`
+            whose :meth:`summary` is embedded.
+        invariants: optional :class:`~repro.chaos.invariants.InvariantReport`.
+    """
+    records = list(records)
+    ok = [r for r in records if r.ok]
+    rejected = [r for r in records
+                if not r.ok and getattr(r, "rejected", False)]
+    failed = [r for r in records if not r.ok and r not in rejected]
+    answered = len(ok) + len(rejected)
+    report = {
+        "operations": {
+            "offered": len(records),
+            "ok": len(ok),
+            "rejected": len(rejected),
+            "failed": len(failed),
+        },
+        "availability": (answered / len(records)) if records else None,
+        "latency": _latency_stats([r.latency for r in ok
+                                   if r.latency is not None]),
+        "failover": _latency_stats(list(failover_durations)),
+    }
+    by_service = {}
+    for record in records:
+        by_service.setdefault(getattr(record, "service", "?"),
+                              []).append(record)
+    report["services"] = {
+        service: {
+            "offered": len(group),
+            "ok": sum(1 for r in group if r.ok),
+            "latency": _latency_stats([r.latency for r in group
+                                       if r.ok and r.latency is not None]),
+        }
+        for service, group in sorted(by_service.items())
+    }
+    if campaign is not None:
+        report["campaign"] = campaign.summary()
+    if invariants is not None:
+        report["invariants"] = invariants.summary()
+    return report
+
+
+def format_slo_report(report):
+    """Human-readable one-screen rendering of :func:`build_slo_report`."""
+    ops = report["operations"]
+    lines = [
+        "SLO report",
+        "  offered=%d ok=%d rejected=%d failed=%d" % (
+            ops["offered"], ops["ok"], ops["rejected"], ops["failed"]),
+    ]
+    if report["availability"] is not None:
+        lines.append("  availability: %.4f" % report["availability"])
+    latency = report["latency"]
+    if latency["count"]:
+        lines.append("  latency: p50=%.6fs p95=%.6fs p99=%.6fs max=%.6fs" % (
+            latency["p50"], latency["p95"], latency["p99"], latency["max"]))
+    failover = report["failover"]
+    if failover["count"]:
+        lines.append("  failover: n=%d mean=%.4fs max=%.4fs" % (
+            failover["count"], failover["mean"], failover["max"]))
+    if "invariants" in report:
+        inv = report["invariants"]
+        lines.append("  invariants: %s (%d violations)" % (
+            "OK" if inv["ok"] else "VIOLATED", len(inv["violations"])))
+    return "\n".join(lines)

@@ -109,6 +109,17 @@ class POA:
 
     def _drive(self, request, respond, generator, send_value, throw_exc, context):
         """Resume a generator servant method with a nested-call result."""
+        should_abort = getattr(context, "should_abort", None)
+        if should_abort is not None and should_abort():
+            # The operation's outcome was superseded while the generator
+            # was suspended (e.g. the replica adopted state from a peer
+            # that already completed it, or that erased its partial
+            # effects): resuming would apply the remaining effects on top
+            # of state they no longer belong to.
+            context.aborted = True
+            generator.close()
+            respond(None)
+            return
         previous = self.orb.current_context
         self.orb.current_context = context
         try:

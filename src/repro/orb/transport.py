@@ -372,7 +372,12 @@ class TcpTransport:
         self._connections.pop(conn_id, None)
 
     def _on_crash(self):
-        self._acceptors.clear()
+        # Per-connection state dies with the incarnation; the listening
+        # ports stay registered.  A restarted server process re-listens
+        # on its well-known ports, and while the node is down no segment
+        # is delivered anyway -- clearing the acceptors here would leave
+        # a recovered node silently refusing every connection (each SYN
+        # dropped on the floor until the peer's connect timeout).
         self._connections.clear()
         self._accepted.clear()
 

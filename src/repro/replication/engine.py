@@ -54,6 +54,8 @@ STATE_FULL = "ft-state-full"
 STATE_CHUNK = "ft-state-chunk"
 STATE_END = "ft-state-end"
 RECONCILED = "ft-reconciled"
+RESYNC = "ft-resync"
+RESYNC_STATE = "ft-resync-state"
 
 _ENVELOPE_OVERHEAD = 64
 
@@ -160,9 +162,16 @@ class ReplicationEngine:
         # from object groups on any ring then reach the client directly on
         # that ring, with no cross-ring forwarding hop.
         self._client_groups = {self.client_group}
+        # Replica groups acting as *clients* across rings (a nested call
+        # from a group homed on ring A to a group homed on ring B) join
+        # their own group name on the server's ring lazily, so the reply
+        # multicast there reaches them; rid -> joined group names.
+        self._cross_ring_client_joins = {}
         for rid, member in self._ring_members.items():
             member.on_message = self._on_group_message
-            member.on_view = self._on_view
+            member.on_view = (
+                lambda view, _rid=rid: self._on_view(view, _rid)
+            )
             member.on_config_cb = (
                 lambda event, _rid=rid: self._on_ring_config(_rid, event)
             )
@@ -181,6 +190,7 @@ class ReplicationEngine:
         self.client_seen_requests.clear()
         self.client_reply_cache.clear()
         self._assemblers.clear()
+        self._cross_ring_client_joins.clear()
 
     def _on_node_recover(self):
         for member in self._ring_members.values():
@@ -340,12 +350,35 @@ class ReplicationEngine:
                               {"op": repr(operation_id)})
                 return
         self.ep.emit("ft.request.sent", {"group": group, "node": self.node_id})
+        self._ensure_reply_membership(group, client_group)
         self._member_for(group).send(
             (group, client_group),
             (REQUEST, group, client_group, operation_id, data, False),
             size=len(data) + _ENVELOPE_OVERHEAD,
             span=span,
         )
+
+    def _ensure_reply_membership(self, server_group, client_group):
+        """Join ``client_group`` on the server's ring when invoking across.
+
+        Node-local client groups and gateway tiers join every ring up
+        front, but a *replica* group joins only its home ring.  When such
+        a group invokes a server homed on a different ring, the server's
+        replicas multicast the reply on their own ring only (they do not
+        run the client's); without a membership there the reply reaches
+        nobody and the request retries forever.  The join is lazy (first
+        cross-ring invocation) and sticky for the process incarnation.
+        """
+        if client_group not in self.replicas:
+            return
+        rid = self._ring_of(server_group)
+        if rid == self._ring_of(client_group):
+            return
+        joined = self._cross_ring_client_joins.setdefault(rid, set())
+        if client_group in joined:
+            return
+        joined.add(client_group)
+        self._ring_members[rid].join(client_group)
 
     def invoke_group(self, ior, operation, args=(), response_expected=True,
                      operation_id=None, client_group=None, timeout=None):
@@ -516,6 +549,10 @@ class ReplicationEngine:
             self._deliver_state_end(message, payload)
         elif kind == RECONCILED:
             self._deliver_reconciled(message, payload)
+        elif kind == RESYNC:
+            self._deliver_resync(message, payload)
+        elif kind == RESYNC_STATE:
+            self._deliver_resync_state(message, payload)
 
     # ------------------------------------------------------------------
     # Requests
@@ -562,6 +599,17 @@ class ReplicationEngine:
             replica.tables.note_suppressed_request()
             self.ep.emit("ft.request.duplicate", {"group": replica.group})
             return
+        if fulfillment and operation_id and operation_id[0] == "f":
+            # A fulfillment re-issues an operation its sender believed
+            # only the secondary component completed.  If this replica
+            # already ran the *original* -- it was in flight during the
+            # ring change, buffered behind the merge stall, and replayed
+            # ahead of the fulfillment in total order -- executing the
+            # fulfillment too would double-apply the operation.
+            if replica.tables.status(operation_id[1]) is not None:
+                replica.tables.note_suppressed_request()
+                self.ep.emit("ft.request.duplicate", {"group": replica.group})
+                return
         pending = PendingRequest(operation_id, data, client_group,
                                  fulfillment, order_key)
         replica.tables.note_executing(operation_id)
@@ -578,11 +626,24 @@ class ReplicationEngine:
             return
         request = decode_message(pending.request_bytes)
         context = ExecutionContext(pending.operation_id, replica.group)
+        epoch = replica.state_epoch
+        context.should_abort = lambda: (
+            replica.state_epoch != epoch
+            or pending.operation_id in replica.tables.completed_operation_ids())
         replica.environment.current_operation_id = pending.operation_id
         replica.executing.add(pending.operation_id)
         task.request = request
 
         def respond(reply):
+            if context.aborted:
+                # The operation was superseded while its servant generator
+                # was suspended on a nested call -- a capture adoption
+                # either brought its completed effects or erased its
+                # partial ones; either way the tail must not apply.
+                self.ep.emit("ft.op.aborted", {"group": replica.group,
+                                                "node": self.node_id})
+                done()
+                return
             self._on_executed(replica, task, request, reply, done)
 
         self.orb.poa.dispatch(request, respond, context=context)
@@ -724,6 +785,27 @@ class ReplicationEngine:
             return
         if replica.tables.status(operation_id) == "completed":
             return  # we executed this ourselves (we are the primary)
+        if position != replica.ops_applied + 1:
+            # Updates apply only contiguously.  ``position`` is the number
+            # of operations the sender's state embodies; each apply here
+            # advances ``ops_applied`` by one, so in a healthy ring every
+            # update arrives at exactly ``ops_applied + 1``.  Anything else
+            # means a partition intervened.  A *regression* is an old
+            # snapshot surfacing late (ring-merge recovery, or the
+            # sender's send queue draining after a re-form): applying it
+            # would wholesale-rewind the servant.  A *gap* is worse: the
+            # missing intermediate updates died on a ring this replica
+            # never ran, so the snapshot silently embeds effects of
+            # operations the duplicate tables never saw completed -- a
+            # later fulfillment would re-apply them (a double execution).
+            # Drop either; for a gap, additionally ask the primary for a
+            # fresh capture so this backup converges without waiting for
+            # the next membership change.
+            self.ep.emit("ft.state.update.stale", {"group": group,
+                                                    "node": self.node_id})
+            if position > replica.ops_applied + 1:
+                self._request_resync(replica)
+            return
         replica.servant.set_state(state)
         pending = replica.pending_requests.get(operation_id)
         request_bytes = pending.request_bytes if pending else None
@@ -741,12 +823,107 @@ class ReplicationEngine:
             return
         if replica.tables.status(operation_id) == "completed":
             return  # we executed this ourselves (we are the primary)
+        if position != replica.ops_applied + 1:
+            # Same contiguity rule as full-state updates; for an image it
+            # matters even more, since a delta applied on a base it was
+            # never computed against corrupts state outright.
+            self.ep.emit("ft.state.update.stale", {"group": group,
+                                                    "node": self.node_id})
+            if position > replica.ops_applied + 1:
+                self._request_resync(replica)
+            return
         replica.servant.apply_update_image(image)
         pending = replica.pending_requests.get(operation_id)
         request_bytes = pending.request_bytes if pending else None
         replica.complete(operation_id, request_bytes, client_group, reply_bytes)
         self.ep.emit("ft.state.update.image.applied",
                       {"group": group, "node": self.node_id})
+
+    # ------------------------------------------------------------------
+    # Passive-backup resynchronization after an update gap
+    # ------------------------------------------------------------------
+
+    def _request_resync(self, replica):
+        """Ask the group's primary for a fresh capture after an update gap.
+
+        One request per gap episode: the flag re-arms when a capture is
+        adopted (any wholesale adoption heals the gap) or when a new ring
+        installs (the request may have been lost to a primary outside our
+        component; the next gapped update then retries).
+        """
+        if replica.resync_pending:
+            return
+        replica.resync_pending = True
+        self.ep.emit("ft.resync.requested", {"group": replica.group,
+                                              "node": self.node_id})
+        self._member_for(replica.group).send(
+            (replica.group,),
+            (RESYNC, replica.group, self.node_id),
+            size=_ENVELOPE_OVERHEAD,
+        )
+
+    def _deliver_resync(self, message, payload):
+        _, group, requester = payload
+        replica = self.replicas.get(group)
+        if replica is None or requester == self.node_id:
+            return
+        if not (replica.ready and replica.is_primary):
+            return
+        engine = self
+
+        class ResyncTask:
+            # Riding the dispatcher orders the capture after every
+            # execution already in flight, so the snapshot's ops_applied
+            # matches the update positions the requester will see next.
+            cost = 0.0
+            pending = None
+
+            def run(self, done):
+                engine._send_resync_state(replica, requester)
+                done()
+
+        replica.dispatcher.submit(ResyncTask())
+
+    def _send_resync_state(self, replica, requester):
+        from repro.orb.cdr import encode_value
+
+        capture = self._capture(replica)
+        value = capture.as_value()
+        encoded = encode_value(value)
+        self.ep.emit("ft.resync.sent", {"group": replica.group,
+                                         "bytes": len(encoded)})
+        self._member_for(replica.group).send(
+            (replica.group,),
+            (RESYNC_STATE, replica.group, value, self.node_id, requester),
+            size=len(encoded) + _ENVELOPE_OVERHEAD,
+        )
+
+    def _deliver_resync_state(self, message, payload):
+        _, group, value, sponsor, target = payload
+        if target != self.node_id:
+            return
+        replica = self.replicas.get(group)
+        if replica is None or not replica.resync_pending or not replica.ready:
+            return
+        capture = FullStateCapture.from_value(value)
+        # Ops this backup completed that the primary's capture lacks
+        # (executed while it was a side primary) become fulfillments,
+        # exactly as in a merge adoption; for a plain lagging backup the
+        # plan is empty.
+        plan = FulfillmentPlan(
+            replica.group,
+            divergent_operations(
+                replica.completed_order,
+                replica.completed_journal,
+                self._their_completed(capture),
+            ),
+        )
+        self._adopt_capture(replica, capture)
+        self._apply_captured_pending(replica, capture)
+        self.ep.emit("ft.resync.adopted", {"group": group,
+                                            "node": self.node_id,
+                                            "fulfillment": len(plan)})
+        self._multicast_fulfillment(replica, plan)
 
     def _multicast_checkpoint(self, replica):
         capture = self._capture(replica)
@@ -808,7 +985,21 @@ class ReplicationEngine:
                 continue
             was_stalled = replica.awaiting_merge_capture
             replica.pre_change_members = set(replica.members) | {self.node_id}
-            if not was_stalled:
+            # A ring change may have cut off an outstanding resync request
+            # (or the merge reconciliation now underway supersedes it);
+            # re-arm so the next gapped update can retry.
+            replica.resync_pending = False
+            if not was_stalled and replica.merge_unreconciled:
+                # The previous merge stall timed out before reconciliation
+                # completed: this replica may still be missing the other
+                # side's operations even though the ring now travels as one
+                # transitional component.  Re-deriving would collapse
+                # side_rep to the ring minimum and make the true primary's
+                # late capture look like our own side's (sponsor ==
+                # side_rep refuses adoption).  Keep the pre-merge value
+                # until a capture is adopted or a barrier completes.
+                pass
+            elif not was_stalled:
                 # Mid-merge, the representative stays frozen at its
                 # pre-merge value: a second ring change can put both sides
                 # in one transitional component, and re-deriving here
@@ -816,6 +1007,20 @@ class ReplicationEngine:
                 # capture arrives -- permanently disabling the adoption
                 # rule (sponsor < side_rep) and leaving this replica
                 # divergent.
+                replica.side_rep = derive_side_representative(
+                    replica.members, transitional, self.node_id
+                )
+            elif (replica.side_rep is not None
+                    and replica.side_rep != self.node_id
+                    and replica.side_rep not in transitional):
+                # The freeze is only sound while we actually travel with
+                # our representative.  Its absence from the transitional
+                # component means the churn separated us from it (or it
+                # crashed): deliveries can now reach its component but not
+                # ours, so claiming primacy through it would make us skip
+                # adopting its side's capture at the next merge and leave
+                # us permanently missing those operations.  Re-derive from
+                # the component we verifiably moved with.
                 replica.side_rep = derive_side_representative(
                     replica.members, transitional, self.node_id
                 )
@@ -837,7 +1042,7 @@ class ReplicationEngine:
             if outside_hosts:
                 awaiting = ((new_ring_members & replica.ever_members)
                             | {self.node_id})
-                self._stall_for_merge(replica, awaiting)
+                self._stall_for_merge(replica, awaiting, event.new_ring_key)
                 if min(outside_hosts) > replica.side_rep:
                     # Primary side: no capture binds us; announce at once
                     # (again on mid-merge ring churn -- announcements sent
@@ -852,13 +1057,20 @@ class ReplicationEngine:
                 # with a fresh safety timer, and repeat our announcement
                 # if we had already made one: it may have been cut off
                 # with the previous ring.
-                self._stall_for_merge(replica, replica.merge_await)
+                self._stall_for_merge(replica, replica.merge_await,
+                                      event.new_ring_key)
                 if replica.merge_announced:
                     self._multicast_reconciled(replica)
 
-    def _on_view(self, view):
+    def _on_view(self, view, ring_id=None):
         replica = self.replicas.get(view.group)
         if replica is None:
+            return
+        if ring_id is not None and self._ring_of(view.group) != ring_id:
+            # A cross-ring *client* membership of this replica group (see
+            # _ensure_reply_membership): the foreign ring's view of the
+            # group says nothing about the replication membership, which
+            # is defined solely by the group's home ring.
             return
         replica.previous_members = replica.members
         replica.members = view.members
@@ -876,7 +1088,8 @@ class ReplicationEngine:
         if replica.ready and not new_ring and new:
             # Same-ring view changes are group joins/leaves; a leave that
             # removed our representative moves it to the next survivor.
-            if replica.side_rep not in new and new <= old:
+            if (replica.side_rep not in new and new <= old
+                    and not replica.merge_unreconciled):
                 replica.side_rep = min(new)
         if replica.ready and joiners - {self.node_id}:
             pre_change = getattr(replica, "pre_change_members", set(old))
@@ -1056,6 +1269,9 @@ class ReplicationEngine:
         # Adopt the sponsor as our representative: in a multi-way merge an
         # even smaller sponsor's capture may still arrive and re-adopt.
         replica.side_rep = sponsor
+        # Our history now contains the primary side's: any reconciliation
+        # debt left by an earlier timed-out stall is settled.
+        replica.merge_unreconciled = False
         self.ep.emit("ft.merge.adopted", {"group": replica.group,
                                            "node": self.node_id,
                                            "fulfillment": len(plan)})
@@ -1109,8 +1325,20 @@ class ReplicationEngine:
                                   client_group, False, _tuplify(order_key))
 
     def _adopt_capture(self, replica, capture, checkpoint=False):
+        # Wholesale state replacement invalidates every execution in
+        # flight here: a servant generator suspended on a nested call
+        # would otherwise resume against the adopted state and re-apply
+        # its remaining effects (which the capture may already include),
+        # or apply a tail whose earlier effects the capture erased.
+        # Bumping the epoch makes each in-flight context's abort hook
+        # fire at its next resume.
+        replica.state_epoch += 1
+        stale_executing = set(replica.executing)
+        replica.executing.clear()
         replica.servant.set_state(capture.application)
         replica.adopt_infrastructure_state(capture.infrastructure)
+        # Any wholesale adoption heals a passive-update gap.
+        replica.resync_pending = False
         if checkpoint:
             replica.log.checkpoint(capture.application)
             replica.ops_since_checkpoint = 0
@@ -1119,11 +1347,28 @@ class ReplicationEngine:
         for op in list(replica.pending_requests):
             if op in completed:
                 del replica.pending_requests[op]
+        # Interrupted operations the capture covers neither as completed
+        # nor (shortly, via the pending tier) as in-flight were delivered
+        # only here: re-execute them from scratch on the adopted state,
+        # in delivery order, or they would be lost with the aborted
+        # generators.  Ops the capture's pending tier does carry are
+        # re-marked executing here first, so _apply_captured_pending
+        # suppresses its copy and execution order follows delivery order.
+        for op in replica.pending_order:
+            if op not in stale_executing or op in completed:
+                continue
+            pending = replica.pending_requests.get(op)
+            if pending is None:
+                continue
+            replica.tables.note_executing(op)
+            task = ExecutionTask(replica, pending, self._run_task)
+            replica.dispatcher.submit(task)
 
     def _make_ready(self, replica):
         replica.ready = True
         if replica.members:
             replica.side_rep = min(replica.members)
+        replica.merge_unreconciled = False
         self.ep.emit("ft.replica.ready", {"group": replica.group,
                                            "node": self.node_id,
                                            "replay": len(replica.buffered)})
@@ -1147,7 +1392,7 @@ class ReplicationEngine:
     # Remerge stall: secondary components wait for the inbound capture
     # ------------------------------------------------------------------
 
-    def _stall_for_merge(self, replica, awaiting):
+    def _stall_for_merge(self, replica, awaiting, round_key):
         """Buffer ordinary request execution until the merge reconciles.
 
         Armed at a transitional configuration whose new ring readmits
@@ -1158,8 +1403,21 @@ class ReplicationEngine:
         awaited set and the safety timer without replaying the buffer.
         A timer bounds the stall in case an awaited host dies (or never
         hosted a live replica) before announcing.
+
+        ``round_key`` identifies the merge round: the new ring key from
+        the transitional configuration that (re-)armed the stall.  Both
+        sides of a merge observe the same new ring, so the key is a shared
+        round identifier even though their transitional member sets
+        differ.  RECONCILED markers are stamped with it, and markers from
+        a different round are ignored: under repeated ring churn,
+        announcements from an earlier reconciliation can otherwise drain
+        the new round's await set and release the stall before the
+        sponsor's capture has been adopted -- the replica then executes
+        its buffered requests against pre-merge state and a late stale
+        capture erases them.
         """
         replica.merge_await = set(awaiting)
+        replica.merge_round = round_key
         if replica.merge_stall_timer is not None:
             replica.merge_stall_timer.cancel()
         if not replica.awaiting_merge_capture:
@@ -1180,14 +1438,23 @@ class ReplicationEngine:
                                                    "node": self.node_id})
         self._member_for(replica.group).send(
             (replica.group,),
-            (RECONCILED, replica.group, self.node_id),
+            (RECONCILED, replica.group, self.node_id, replica.merge_round),
             size=_ENVELOPE_OVERHEAD,
         )
 
     def _deliver_reconciled(self, message, payload):
-        _, group, sender = payload
+        _, group, sender, round_key = payload
         replica = self.replicas.get(group)
         if replica is None or not replica.awaiting_merge_capture:
+            return
+        if round_key != replica.merge_round:
+            # An announcement for a different merge round (stale churn
+            # leftover, or an announcer that has not yet observed the
+            # latest transitional).  Counting it would release this stall
+            # early; the announcer repeats its marker when it sees the new
+            # ring, and the safety timer bounds the wait if it never does.
+            self.ep.emit("ft.merge.reconciled.stale",
+                          {"group": group, "node": self.node_id})
             return
         replica.merge_await.discard(sender)
         if not replica.merge_await:
@@ -1199,6 +1466,13 @@ class ReplicationEngine:
         replica.awaiting_merge_capture = False
         replica.merge_await = set()
         replica.merge_announced = False
+        replica.merge_round = None
+        # A timeout release ends the *stall* (liveness: an awaited host
+        # may be dead) but must not count as reconciliation (safety): the
+        # debt flag keeps side_rep from collapsing to the ring minimum
+        # until the primary side's capture actually binds, so a late
+        # capture can still be adopted.  A completed barrier settles it.
+        replica.merge_unreconciled = reason != "reconciled"
         if replica.merge_stall_timer is not None:
             replica.merge_stall_timer.cancel()
             replica.merge_stall_timer = None

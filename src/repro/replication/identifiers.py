@@ -94,12 +94,20 @@ class ExecutionContext:
     to identify the replica group acting as the nested client.
     """
 
-    __slots__ = ("operation_id", "group", "_child_sequence")
+    __slots__ = ("operation_id", "group", "_child_sequence",
+                 "should_abort", "aborted")
 
     def __init__(self, operation_id, group):
         self.operation_id = operation_id
         self.group = group
         self._child_sequence = 0
+        # Optional abort hook consulted before every generator resume:
+        # when it returns True the suspended operation must not apply any
+        # further effects (its outcome was superseded -- e.g. replicated
+        # state adopted from a peer).  ``aborted`` records that the hook
+        # fired so the executor can skip completion bookkeeping.
+        self.should_abort = None
+        self.aborted = False
 
     def next_nested_id(self):
         self._child_sequence += 1

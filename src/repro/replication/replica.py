@@ -76,7 +76,19 @@ class LocalReplica:
         self.awaiting_merge_capture = False
         self.merge_await = set()
         self.merge_announced = False
+        self.merge_round = None
         self.merge_stall_timer = None
+        # True after a merge stall ended without full reconciliation (the
+        # safety timer fired before every RECONCILED marker arrived, and
+        # no primary-side capture was adopted).  While set, this replica's
+        # history may still be missing another component's operations, so
+        # ``side_rep`` must not collapse to the ring minimum -- that would
+        # make a late capture from the true primary side look like our
+        # own and be refused.
+        self.merge_unreconciled = False
+        # True while a resync request (sent after a passive-update gap)
+        # awaits its capture; suppresses duplicate requests.
+        self.resync_pending = False
         # Mechanisms state.
         self.tables = DuplicateTables(self._count_suppression)
         self.log = MessageLog()
@@ -87,6 +99,10 @@ class LocalReplica:
         self.ops_applied = 0
         self.ops_since_checkpoint = 0
         self.executing = set()
+        # Bumped on every wholesale state adoption; execution contexts
+        # snapshot it at dispatch and abort their generator at the next
+        # resume when it moved (their in-flight effects were superseded).
+        self.state_epoch = 0
         # External (plain-IOR) invocations issued by in-progress operations:
         # op id -> (target IOR, RequestMessage); the group leader performs
         # them and a new leader re-issues any left open at failover.
@@ -153,12 +169,22 @@ class LocalReplica:
 
     def complete(self, operation_id, request_bytes, client_group, reply_bytes):
         """Mark an operation completed (executed here or via state update)."""
-        self.tables.note_completed(operation_id, reply_bytes)
-        self.pending_requests.pop(operation_id, None)
-        self.executing.discard(operation_id)
-        if operation_id not in self.completed_journal:
-            self.completed_journal[operation_id] = (request_bytes, client_group)
-            self.completed_order.append(operation_id)
+        ids = [operation_id]
+        if operation_id and operation_id[0] == "f":
+            # A fulfillment re-execution also completes its *original*
+            # operation id: the original completed only in the pre-merge
+            # secondary component, whose duplicate tables the adopted
+            # capture replaced.  Without the pairing, a client retry of
+            # the original id arriving after the remerge would execute
+            # the operation a second time.
+            ids.append(operation_id[1])
+        for op in ids:
+            self.tables.note_completed(op, reply_bytes)
+            self.pending_requests.pop(op, None)
+            self.executing.discard(op)
+            if op not in self.completed_journal:
+                self.completed_journal[op] = (request_bytes, client_group)
+                self.completed_order.append(op)
         self.ops_applied += 1
         self.ops_since_checkpoint += 1
 
@@ -198,8 +224,20 @@ class LocalReplica:
         }
 
     def adopt_infrastructure_state(self, snapshot):
+        # "executing" entries describe in-flight dispatcher tasks at the
+        # *sponsor*; no execution is in flight here, so adopting them
+        # verbatim would suppress this replica's own (re-)execution of
+        # those operations forever -- nothing local ever completes them.
+        # Drop them: the same requests ride along in the capture's
+        # pending tier and are re-processed after adoption, which re-marks
+        # them executing against *this* replica's dispatcher.
+        dup = dict(snapshot["dup"])
+        dup["request_status"] = [
+            [op, status] for op, status in dup["request_status"]
+            if status == "completed"
+        ]
         self.tables = DuplicateTables.restore(
-            snapshot["dup"], self._count_suppression
+            dup, self._count_suppression
         )
         self.ops_applied = snapshot["ops_applied"]
         self.completed_order = [

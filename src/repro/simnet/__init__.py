@@ -13,7 +13,8 @@ Public surface:
 - :class:`Network`, :class:`Node`, :class:`LinkProfile` -- LAN model with
   latency, bandwidth, loss, jitter, crashes, and partitions.
 - :class:`FaultPlan` -- declarative schedules of crash / recover /
-  partition / merge events.
+  partition / merge events plus chaos-overlay degradations (loss
+  bursts, latency spikes, slow nodes).
 - :class:`TraceLog` -- structured event trace and message counters.
 """
 
@@ -25,7 +26,7 @@ from repro.simnet.simulator import Simulator
 from repro.simnet.link import LinkProfile
 from repro.simnet.node import Node
 from repro.simnet.network import Network
-from repro.simnet.faults import FaultPlan, FaultEvent
+from repro.simnet.faults import FAULT_KINDS, FaultPlan, FaultEvent
 
 __all__ = [
     "SimulationError",
@@ -42,4 +43,5 @@ __all__ = [
     "Network",
     "FaultPlan",
     "FaultEvent",
+    "FAULT_KINDS",
 ]

@@ -1,23 +1,68 @@
-"""Declarative fault injection: timed crash / recover / partition / merge.
+"""Declarative fault injection: timed schedules of network adversity.
 
 Experiments describe their fault scenario up front as a :class:`FaultPlan`
-and arm it once; the plan schedules the events on the simulator.  This keeps
-benchmark scripts declarative and makes scenarios reusable across tests.
+and arm it once; the plan schedules the events on the simulator.  This
+keeps benchmark scripts declarative and makes scenarios reusable across
+tests -- and, since the chaos subsystem (:mod:`repro.chaos`) generates
+plans from a seed, reproducible byte-for-byte.
+
+Beyond the classic crash / recover / partition / merge events, a plan can
+impose transient network degradation through the chaos overlay of
+:class:`~repro.simnet.network.Network`: message-loss bursts, latency
+spikes, and slow-node (delayed-delivery) windows.
+
+A plan arms against a live network exactly once: events are validated
+against the network's node set at arm time (unknown targets raise
+instead of silently scheduling no-ops), and ties in the schedule sort
+deterministically on (time, kind, target), so two same-seed runs apply
+the identical sequence.
 """
+
+from repro.simnet.errors import UnknownNodeError
+
+#: Event kinds a plan may schedule, in their deterministic tie-break order.
+FAULT_KINDS = (
+    "crash", "recover", "partition", "merge", "loss", "latency", "slow",
+)
 
 
 class FaultEvent:
-    """One scheduled fault: ``kind`` is crash | recover | partition | merge."""
+    """One scheduled fault.
 
-    __slots__ = ("time", "kind", "target")
+    ``kind`` is one of :data:`FAULT_KINDS`; ``target`` names the affected
+    node (crash/recover/slow) or partition components; ``param`` carries
+    the kind-specific magnitude (loss rate, extra latency, node delay).
+    """
 
-    def __init__(self, time, kind, target=None):
+    __slots__ = ("time", "kind", "target", "param")
+
+    def __init__(self, time, kind, target=None, param=None):
         self.time = time
         self.kind = kind
         self.target = target
+        self.param = param
+
+    def sort_key(self):
+        """Deterministic total order: time, then kind, then target."""
+        kind_rank = (FAULT_KINDS.index(self.kind)
+                     if self.kind in FAULT_KINDS else len(FAULT_KINDS))
+        return (self.time, kind_rank, repr(self.target), repr(self.param))
+
+    def to_dict(self):
+        """A JSON-friendly form used for byte-stable schedule exports."""
+        entry = {"t": round(self.time, 9), "kind": self.kind}
+        if self.target is not None:
+            entry["target"] = (
+                [sorted(component) for component in self.target]
+                if self.kind == "partition" else self.target)
+        if self.param is not None:
+            entry["param"] = self.param
+        return entry
 
     def __repr__(self):
-        return "FaultEvent(t=%.6f, %s, %r)" % (self.time, self.kind, self.target)
+        extra = "" if self.param is None else ", param=%r" % (self.param,)
+        return "FaultEvent(t=%.6f, %s, %r%s)" % (
+            self.time, self.kind, self.target, extra)
 
 
 class FaultPlan:
@@ -25,6 +70,9 @@ class FaultPlan:
 
     def __init__(self):
         self.events = []
+        self._armed_on = None
+
+    # -- classic process/network faults --------------------------------
 
     def crash(self, time, node_id):
         """Crash ``node_id`` at virtual ``time``."""
@@ -47,16 +95,83 @@ class FaultPlan:
         self.events.append(FaultEvent(time, "merge"))
         return self
 
-    def arm(self, network):
-        """Schedule every event of the plan on the network's simulator."""
+    # -- chaos-overlay degradations -------------------------------------
+
+    def loss_burst(self, time, rate, duration):
+        """Add ``rate`` drop probability during [time, time+duration)."""
+        self.events.append(FaultEvent(time, "loss", param=rate))
+        self.events.append(FaultEvent(time + duration, "loss", param=0.0))
+        return self
+
+    def latency_spike(self, time, extra, duration):
+        """Add ``extra`` seconds to every delivery for ``duration``."""
+        self.events.append(FaultEvent(time, "latency", param=extra))
+        self.events.append(FaultEvent(time + duration, "latency", param=0.0))
+        return self
+
+    def slow_node(self, time, node_id, delay, duration):
+        """Delay deliveries to/from ``node_id`` by ``delay`` for ``duration``."""
+        self.events.append(FaultEvent(time, "slow", node_id, param=delay))
+        self.events.append(FaultEvent(time + duration, "slow", node_id,
+                                      param=0.0))
+        return self
+
+    # -- schedule access -------------------------------------------------
+
+    def sorted_events(self):
+        """The schedule in its deterministic application order."""
+        return sorted(self.events, key=lambda event: event.sort_key())
+
+    def node_targets(self):
+        """Every node id the plan touches (crash/recover/slow/partition)."""
+        targets = set()
+        for event in self.events:
+            if event.kind in ("crash", "recover", "slow"):
+                targets.add(event.target)
+            elif event.kind == "partition":
+                for component in event.target:
+                    targets.update(component)
+        return targets
+
+    # -- arming ----------------------------------------------------------
+
+    def validate_against(self, network):
+        """Raise :class:`UnknownNodeError` for targets the network lacks."""
+        known = set(network.node_ids())
+        for target in sorted(self.node_targets()):
+            if target not in known:
+                raise UnknownNodeError(target)
+        return self
+
+    def arm(self, network, offset=0.0):
+        """Schedule every event of the plan on the network's simulator.
+
+        A plan arms exactly once: re-arming (against any network) raises,
+        since the event list describes one concrete schedule and arming
+        twice would double-apply it.  All node targets are validated
+        before anything is scheduled.  ``offset`` shifts every event time
+        (campaigns hold times relative to their arming instant).
+        """
+        if self._armed_on is not None:
+            raise RuntimeError(
+                "FaultPlan already armed; build a new plan for a new run")
+        self.validate_against(network)
+        self._armed_on = network
         sim = network.sim
-        for event in sorted(self.events, key=lambda e: e.time):
-            sim.schedule_at(event.time, _make_applier(network, event), "fault:%s" % event.kind)
+        for event in self.sorted_events():
+            sim.schedule_at(offset + event.time,
+                            _make_applier(network, event),
+                            "fault:%s" % event.kind)
         return self
 
 
 def _make_applier(network, event):
     def apply_fault():
+        network.sim.emit("chaos.inject", {
+            "kind": event.kind,
+            "target": repr(event.target) if event.target is not None else None,
+            "param": event.param,
+        })
         if event.kind == "crash":
             network.node(event.target).crash()
         elif event.kind == "recover":
@@ -65,6 +180,12 @@ def _make_applier(network, event):
             network.partition(event.target)
         elif event.kind == "merge":
             network.merge()
+        elif event.kind == "loss":
+            network.set_extra_loss(event.param)
+        elif event.kind == "latency":
+            network.set_extra_latency(event.param)
+        elif event.kind == "slow":
+            network.set_node_delay(event.target, event.param)
         else:
             raise ValueError("unknown fault kind: %r" % (event.kind,))
 

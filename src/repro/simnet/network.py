@@ -38,6 +38,50 @@ class Network:
         # reorders within a flow, and Totem's retransmission logic is
         # exercised through loss, not reordering.
         self._last_delivery = {}
+        # Chaos overlay: transient degradation on top of the base link
+        # profile.  Campaigns (repro.chaos) flip these at scheduled times;
+        # the base profile stays untouched so clearing an overlay restores
+        # the exact pre-fault behaviour.
+        self.extra_loss = 0.0
+        self.extra_latency = 0.0
+        self._node_delay = {}
+
+    # ------------------------------------------------------------------
+    # Chaos overlay (loss bursts, latency spikes, slow nodes)
+    # ------------------------------------------------------------------
+
+    def set_extra_loss(self, rate):
+        """Add ``rate`` to the per-message drop probability (0 clears)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("extra loss must be in [0, 1], got %r" % (rate,))
+        self.extra_loss = rate
+        self.sim.emit("chaos.net.loss", {"rate": rate})
+
+    def set_extra_latency(self, extra):
+        """Add ``extra`` seconds to every inter-node delivery (0 clears)."""
+        if extra < 0:
+            raise ValueError("extra latency must be >= 0, got %r" % (extra,))
+        self.extra_latency = extra
+        self.sim.emit("chaos.net.latency", {"extra": extra})
+
+    def set_node_delay(self, node_id, delay):
+        """Delay every delivery to or from ``node_id`` (a slow processor).
+
+        ``delay=0`` clears the slow-node condition.  Raises
+        :class:`UnknownNodeError` for unregistered nodes.
+        """
+        self.node(node_id)  # validates
+        if delay < 0:
+            raise ValueError("node delay must be >= 0, got %r" % (delay,))
+        if delay:
+            self._node_delay[node_id] = delay
+        else:
+            self._node_delay.pop(node_id, None)
+        self.sim.emit("chaos.net.slow", {"node": node_id, "delay": delay})
+
+    def node_delay(self, node_id):
+        """The slow-node delay currently imposed on ``node_id`` (seconds)."""
+        return self._node_delay.get(node_id, 0.0)
 
     # ------------------------------------------------------------------
     # Topology management
@@ -177,12 +221,17 @@ class Network:
             if not self.reachable(src_id, dst_id):
                 self.sim.emit("net.drop.unreachable", {"src": src_id, "dst": dst_id})
                 return
-            if self.profile.loss and self.sim.rng.chance("net.loss", self.profile.loss):
+            loss = min(1.0, self.profile.loss + self.extra_loss)
+            if loss and self.sim.rng.chance("net.loss", loss):
                 self.sim.emit("net.drop.loss", {"src": src_id, "dst": dst_id})
                 return
         latency = 0.0 if src_id == dst_id else self.profile.latency
         if self.profile.jitter and src_id != dst_id:
             latency += self.sim.rng.uniform("net.jitter", 0.0, self.profile.jitter)
+        if src_id != dst_id:
+            latency += self.extra_latency
+            if self._node_delay:
+                latency += self.node_delay(src_id) + self.node_delay(dst_id)
         arrival = depart + latency
         # Clamp to FIFO order per (src, dst) flow.
         key = (src_id, dst_id)

@@ -201,6 +201,14 @@ register_category("ft.failover", ("group", "node"),
 register_category("ft.state.update.sent", ("group",), "warm-passive state pushed")
 register_category("ft.state.update.applied", ("group", "node"),
                   "warm-passive state applied")
+register_category("ft.state.update.stale", ("group", "node"),
+                  "non-contiguous passive update discarded")
+register_category("ft.resync.requested", ("group", "node"),
+                  "backup asked the primary for a capture after an update gap")
+register_category("ft.resync.sent", ("group", "bytes"),
+                  "primary sent a resync capture to a gapped backup")
+register_category("ft.resync.adopted", ("group", "node", "fulfillment"),
+                  "gapped backup adopted the primary's resync capture")
 register_category("ft.state.update.image.sent", ("group",),
                   "warm-passive update image pushed")
 register_category("ft.state.update.image.applied", ("group", "node"),
@@ -222,10 +230,14 @@ register_category("ft.merge.adopted", ("group", "node", "fulfillment"),
                   "secondary side adopted the primary side's capture")
 register_category("ft.merge.reconciled.sent", ("group", "node"),
                   "reconciliation marker multicast")
+register_category("ft.merge.reconciled.stale", ("group", "node"),
+                  "reconciliation marker from another merge round ignored")
 register_category("ft.merge.stall.released", ("group", "node", "reason", "replay"),
                   "remerge barrier released")
 register_category("ft.fulfillment.sent", ("group",),
                   "divergent operation re-issued as a fulfillment request")
+register_category("ft.op.aborted", ("group", "node"),
+                  "suspended operation superseded by adopted state")
 
 # Fault management plane
 register_category("ftdet.miss", ("target", "misses"), "heartbeat deadline missed")
@@ -239,3 +251,33 @@ register_category("gateway.forward", ("key", "op"),
                   "plain-IIOP request re-issued as a group invocation")
 register_category("gateway.export.replaced", ("key",),
                   "an exported object key was overwritten by a new export")
+
+# Chaos campaigns (repro.chaos + the simnet chaos overlay).  ``target``
+# is the repr of the affected node / components so partition component
+# lists stay JSON- and registry-friendly.
+register_category("chaos.inject", ("kind", "target", "param"),
+                  "one scheduled fault event applied to the network")
+register_category("chaos.net.loss", ("rate",),
+                  "chaos overlay: extra per-message loss set (0 clears)")
+register_category("chaos.net.latency", ("extra",),
+                  "chaos overlay: extra delivery latency set (0 clears)")
+register_category("chaos.net.slow", ("node", "delay"),
+                  "chaos overlay: slow-node delivery delay set (0 clears)")
+register_category("chaos.campaign.start", ("seed", "events"),
+                  "a generated campaign schedule was armed")
+register_category("chaos.campaign.end", ("seed",),
+                  "every event of an armed campaign has been applied")
+register_category("chaos.process.signal", ("node", "signal"),
+                  "process-level injector signalled a live node process")
+register_category("chaos.process.respawn", ("node",),
+                  "process-level injector restarted a killed node process")
+
+# OLTP workload (repro.workloads.oltp): client-side traffic accounting.
+register_category("oltp.request", ("service", "op"),
+                  "one generated OLTP invocation departed")
+register_category("oltp.reply", ("service", "op"),
+                  "an OLTP invocation completed successfully")
+register_category("oltp.rejected", ("service", "op", "error"),
+                  "an OLTP invocation was rejected by application logic")
+register_category("oltp.failed", ("service", "op", "error"),
+                  "an OLTP invocation failed with a system error")

@@ -6,6 +6,9 @@ account (the classic replication demo), a key-value store (parameterizable
 state size for the state-transfer experiments), the automobile-sales
 inventory from the Eternal papers' running example, and a compute service
 (parameterizable operation cost for the active-vs-passive tradeoff).
+:mod:`repro.workloads.oltp` adds the multi-group order-processing
+application (accounts / catalog / orders with nested cross-group
+invocations and op-id ledgers) that chaos campaigns drive.
 """
 
 from repro.workloads.apps import (
@@ -23,6 +26,16 @@ from repro.workloads.generators import (
     OpenLoopGenerator,
     RequestRecord,
 )
+from repro.workloads.oltp import (
+    DEFAULT_MIX,
+    AccountsService,
+    CatalogService,
+    InsufficientBalance,
+    OltpRecord,
+    OltpTraffic,
+    OrdersService,
+    OutOfStock,
+)
 
 __all__ = [
     "Accumulator",
@@ -36,4 +49,12 @@ __all__ = [
     "ClosedLoopClient",
     "OpenLoopGenerator",
     "RequestRecord",
+    "AccountsService",
+    "CatalogService",
+    "OrdersService",
+    "OltpRecord",
+    "OltpTraffic",
+    "OutOfStock",
+    "InsufficientBalance",
+    "DEFAULT_MIX",
 ]

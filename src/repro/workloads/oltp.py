@@ -1,0 +1,370 @@
+"""Multi-group OLTP application for chaos campaigns.
+
+Three replicated services model a small order-processing system:
+
+- :class:`AccountsService` holds customer balances (debits/deposits),
+- :class:`CatalogService` holds item stock (reserve/restock),
+- :class:`OrdersService` places orders by *nesting* invocations into the
+  other two groups -- reserve stock at the catalog, then debit the buyer's
+  account, with a compensating release when payment fails.
+
+Deployed across multiple Totem rings with mixed replication styles, an
+order becomes a cross-group, cross-ring invocation chain -- the hardest
+path through the replication machinery and therefore the one a chaos
+campaign should hammer.
+
+Every mutating operation carries a caller-chosen ``op_id`` and each
+servant records it in an **operation ledger at operation entry**, before
+any validation.  The ledger is part of replicated state, so after a
+campaign the invariant checker (:mod:`repro.chaos.invariants`) can prove
+exactly-once execution: a client-acknowledged op missing from the ledger
+was lost; any id with two entries was executed twice (infrastructure
+duplicate suppression failed).  Nested operations use ids derived from
+the parent (``<op_id>/reserve``, ``<op_id>/debit``), so duplicated
+sub-invocations are attributable to their order.
+
+:class:`OltpTraffic` drives a seeded open-loop mix of these operations
+against the three groups on either runtime (virtual or wall-clock
+timers), tagging every outcome for the SLO report.
+"""
+
+from repro.orb.exceptions import ApplicationError
+from repro.orb.idl import NestedCall, Servant, operation
+from repro.state.checkpointable import Checkpointable
+from repro.workloads.generators import RequestRecord
+
+
+class OutOfStock(ApplicationError):
+    def __init__(self, item, requested, available):
+        super().__init__(
+            "OutOfStock",
+            "%s: requested %s but only %s in stock"
+            % (item, requested, available))
+
+
+class InsufficientBalance(ApplicationError):
+    def __init__(self, account, requested, available):
+        super().__init__(
+            "InsufficientBalance",
+            "%s: requested %s but only %s available"
+            % (account, requested, available))
+
+
+class _LedgeredServant(Servant, Checkpointable):
+    """Base for servants that prove exactly-once execution via a ledger."""
+
+    def __init__(self):
+        self.ledger = {}
+
+    def _enter(self, op_id):
+        """Record the execution *before* validation, so rejected and
+        re-executed operations are equally visible afterwards."""
+        self.ledger[op_id] = self.ledger.get(op_id, 0) + 1
+
+    @operation(read_only=True)
+    def ledger_snapshot(self):
+        return dict(self.ledger)
+
+
+class AccountsService(_LedgeredServant):
+    """Customer balances; debit is the payment leg of an order."""
+
+    def __init__(self, accounts=None):
+        super().__init__()
+        self.balances = dict(accounts or {})
+
+    @operation()
+    def open_account(self, op_id, account, balance=0):
+        self._enter(op_id)
+        self.balances[account] = balance
+        return balance
+
+    @operation()
+    def deposit(self, op_id, account, amount):
+        self._enter(op_id)
+        if account not in self.balances:
+            raise ApplicationError("NoSuchAccount", account)
+        self.balances[account] += amount
+        return self.balances[account]
+
+    @operation()
+    def debit(self, op_id, account, amount):
+        self._enter(op_id)
+        available = self.balances.get(account, 0)
+        if amount > available:
+            raise InsufficientBalance(account, amount, available)
+        self.balances[account] = available - amount
+        return self.balances[account]
+
+    @operation(read_only=True)
+    def balance_of(self, account):
+        return self.balances.get(account, 0)
+
+    def get_state(self):
+        return {"balances": dict(self.balances), "ledger": dict(self.ledger)}
+
+    def set_state(self, state):
+        self.balances = dict(state["balances"])
+        self.ledger = dict(state["ledger"])
+
+
+class CatalogService(_LedgeredServant):
+    """Item stock; reserve is the inventory leg of an order."""
+
+    def __init__(self, stock=None):
+        super().__init__()
+        self.stock = dict(stock or {})
+
+    @operation()
+    def restock(self, op_id, item, count):
+        self._enter(op_id)
+        self.stock[item] = self.stock.get(item, 0) + count
+        return self.stock[item]
+
+    @operation()
+    def reserve(self, op_id, item, count):
+        self._enter(op_id)
+        available = self.stock.get(item, 0)
+        if count > available:
+            raise OutOfStock(item, count, available)
+        self.stock[item] = available - count
+        return self.stock[item]
+
+    @operation()
+    def release(self, op_id, item, count):
+        """Compensation for a reserved-but-unpaid order."""
+        self._enter(op_id)
+        self.stock[item] = self.stock.get(item, 0) + count
+        return self.stock[item]
+
+    @operation(read_only=True)
+    def stock_of(self, item):
+        return self.stock.get(item, 0)
+
+    def get_state(self):
+        return {"stock": dict(self.stock), "ledger": dict(self.ledger)}
+
+    def set_state(self, state):
+        self.stock = dict(state["stock"])
+        self.ledger = dict(state["ledger"])
+
+
+class OrdersService(_LedgeredServant):
+    """Order placement: a nested cross-group invocation chain.
+
+    ``catalog_ref`` / ``accounts_ref`` are group references resolved at
+    replica construction; they are identical on every replica and thus
+    deliberately *not* part of transferred state.
+    """
+
+    def __init__(self, catalog_ref=None, accounts_ref=None, unit_price=5):
+        super().__init__()
+        self.catalog_ref = catalog_ref
+        self.accounts_ref = accounts_ref
+        self.unit_price = unit_price
+        self.orders = []
+
+    @operation()
+    def place_order(self, op_id, account, item, quantity):
+        self._enter(op_id)
+        cost = quantity * self.unit_price
+        # Reserve first: OutOfStock propagates with no state to unwind.
+        yield NestedCall(self.catalog_ref, "reserve",
+                         (op_id + "/reserve", item, quantity))
+        try:
+            yield NestedCall(self.accounts_ref, "debit",
+                             (op_id + "/debit", account, cost))
+        except ApplicationError:
+            yield NestedCall(self.catalog_ref, "release",
+                             (op_id + "/release", item, quantity))
+            raise ApplicationError(
+                "PaymentFailed", "%s could not pay %s" % (account, cost))
+        self.orders.append((op_id, account, item, quantity, cost))
+        return {"order": op_id, "item": item, "quantity": quantity,
+                "cost": cost}
+
+    @operation(read_only=True)
+    def order_count(self):
+        return len(self.orders)
+
+    def get_state(self):
+        # Canonical (sorted) form: an order's completion interleaves with
+        # nested replies and remerge re-executions, so the *append order*
+        # of near-simultaneous orders is not part of the replicated
+        # contract -- the set of placed orders (and the ledger) is.
+        return {"orders": sorted([list(o) for o in self.orders]),
+                "ledger": dict(self.ledger)}
+
+    def set_state(self, state):
+        self.orders = [tuple(o) for o in state["orders"]]
+        self.ledger = dict(state["ledger"])
+
+
+# ---------------------------------------------------------------------------
+# Traffic generation
+# ---------------------------------------------------------------------------
+
+
+class OltpRecord(RequestRecord):
+    """One generated OLTP invocation, tagged for SLO accounting."""
+
+    __slots__ = ("op_id", "service")
+
+    def __init__(self, op_id, service, operation, args, send_time):
+        super().__init__(operation, args, send_time)
+        self.op_id = op_id
+        self.service = service
+
+    @property
+    def rejected(self):
+        """Application said no -- the service was *available*."""
+        return isinstance(self.error, ApplicationError)
+
+
+#: Default operation mix: (weight, service, operation) -- write-heavy,
+#: with the nested order chain as the centerpiece.
+DEFAULT_MIX = (
+    (3, "orders", "place_order"),
+    (2, "accounts", "deposit"),
+    (1, "accounts", "debit"),
+    (1, "accounts", "balance_of"),
+    (2, "catalog", "restock"),
+    (1, "catalog", "stock_of"),
+)
+
+
+class OltpTraffic:
+    """Seeded open-loop traffic over the three OLTP groups.
+
+    Arrivals are Poisson with the given ``rate`` for ``duration``
+    seconds; each arrival draws an operation from ``mix`` and a
+    victim account/item from the configured pools, all through the
+    runtime's named RNG streams so the same seed offers the same load.
+    Works on both runtimes: virtual timers on the simulator, wall-clock
+    ``call_later`` on asyncio.
+
+    Args:
+        runtime: Sim or Asyncio runtime (clock + rng + telemetry).
+        stubs: mapping ``{"accounts": stub, "catalog": stub,
+            "orders": stub}`` of client proxies.
+        rate: mean arrivals per second.
+        duration: generation window in runtime seconds.
+        accounts / items: entity pools operations draw from.
+        mix: (weight, service, operation) tuples; see :data:`DEFAULT_MIX`.
+        op_prefix: namespaces op ids when several generators run at once.
+    """
+
+    def __init__(self, runtime, stubs, rate, duration,
+                 accounts=("alice", "bob", "carol"),
+                 items=("widget", "gadget", "gizmo"),
+                 mix=DEFAULT_MIX, op_prefix="c0"):
+        self.runtime = runtime
+        self.stubs = dict(stubs)
+        self.rate = rate
+        self.duration = duration
+        self.accounts = tuple(accounts)
+        self.items = tuple(items)
+        self.mix = tuple(mix)
+        self.op_prefix = op_prefix
+        self.records = []
+        self._index = 0
+        self._deadline = None
+        self._total_weight = sum(weight for weight, _, _ in self.mix)
+
+    # -- runtime-portable deferral --------------------------------------
+
+    def _defer(self, delay, callback):
+        sim = getattr(self.runtime, "sim", None)
+        if sim is not None:
+            sim.schedule(delay, callback, "oltp.arrival")
+        else:
+            self.runtime.loop.call_later(max(delay, 0.0), callback)
+
+    # -- generation ------------------------------------------------------
+
+    def start(self):
+        self._deadline = self.runtime.now + self.duration
+        self._schedule_next()
+        return self
+
+    def _schedule_next(self):
+        interval = self.runtime.rng.expovariate(
+            "oltp.arrivals." + self.op_prefix, self.rate)
+        if self.runtime.now + interval > self._deadline:
+            return
+        self._defer(interval, self._fire)
+
+    def _pick_operation(self):
+        rng = self.runtime.rng
+        stream = "oltp.mix." + self.op_prefix
+        draw = rng.uniform(stream, 0.0, self._total_weight)
+        cumulative = 0.0
+        for weight, service, op in self.mix:
+            cumulative += weight
+            if draw < cumulative:
+                return service, op
+        return self.mix[-1][1], self.mix[-1][2]
+
+    def _build_args(self, service, op, op_id):
+        rng = self.runtime.rng
+        stream = "oltp.args." + self.op_prefix
+        account = rng.choice(stream, self.accounts)
+        item = rng.choice(stream, self.items)
+        amount = rng.choice(stream, (5, 10, 20))
+        if op == "place_order":
+            return (op_id, account, item, 1)
+        if op in ("deposit", "debit"):
+            return (op_id, account, amount)
+        if op == "balance_of":
+            return (account,)
+        if op == "restock":
+            return (op_id, item, amount)
+        if op == "reserve":
+            return (op_id, item, 1)
+        if op == "stock_of":
+            return (item,)
+        raise ValueError("unknown OLTP operation %r" % (op,))
+
+    def _fire(self):
+        service, op = self._pick_operation()
+        op_id = "%s-%d" % (self.op_prefix, self._index)
+        self._index += 1
+        args = self._build_args(service, op, op_id)
+        record = OltpRecord(op_id, service, op, args, self.runtime.now)
+        self.records.append(record)
+        self.runtime.emit("oltp.request", {"service": service, "op": op})
+        future = getattr(self.stubs[service], op)(*args)
+        future.add_done_callback(
+            lambda fut: self._complete(record, service, op, fut))
+        self._schedule_next()
+
+    def _complete(self, record, service, op, future):
+        record.complete_time = self.runtime.now
+        error = future.exception()
+        if error is None:
+            record.result = future.result()
+            self.runtime.emit("oltp.reply", {"service": service, "op": op})
+        else:
+            record.error = error
+            category = ("oltp.rejected" if isinstance(error, ApplicationError)
+                        else "oltp.failed")
+            self.runtime.emit(category, {
+                "service": service, "op": op,
+                "error": type(error).__name__})
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def pending(self):
+        return sum(1 for r in self.records if r.complete_time is None)
+
+    @property
+    def finished(self):
+        return (self._deadline is not None
+                and self.runtime.now >= self._deadline
+                and self.pending == 0)
+
+    def mutating_records(self):
+        """Records whose operations carry an op id (ledger-checkable)."""
+        reads = ("balance_of", "stock_of", "ledger_snapshot", "order_count")
+        return [r for r in self.records if r.operation not in reads]

@@ -1,0 +1,273 @@
+"""Tests for the chaos campaign subsystem (repro.chaos)."""
+
+import pytest
+
+from repro.chaos import (
+    PROCESS_CAPABILITIES,
+    CampaignSpec,
+    ChaosCampaign,
+    InvariantChecker,
+    ProcessInjector,
+    SimInjector,
+    build_slo_report,
+    format_slo_report,
+)
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.runtime.sim import SimRuntime
+from repro.workloads import AccountsService
+from repro.workloads.oltp import OltpTraffic
+
+NODES = ["n1", "n2", "n3"]
+
+
+def spec(**overrides):
+    base = dict(nodes=NODES, seed=7, start=1.0, duration=4.0)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Generation: determinism, structure, capabilities
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_regenerates_identical_schedule():
+    assert ChaosCampaign(spec()).to_json() == ChaosCampaign(spec()).to_json()
+
+
+def test_different_seed_changes_the_schedule():
+    assert (ChaosCampaign(spec(seed=1)).to_json()
+            != ChaosCampaign(spec(seed=2)).to_json())
+
+
+def test_events_are_sorted_and_bounded():
+    campaign = ChaosCampaign(spec())
+    times = [event.time for event in campaign.events()]
+    assert times == sorted(times)
+    assert campaign.end_time == times[-1]
+    assert times[0] >= 1.0  # nothing before the quiet lead-in
+
+
+def test_spec_counts_shape_the_schedule():
+    campaign = ChaosCampaign(spec(crashes=2, partitions=1, loss_bursts=1,
+                                  latency_spikes=1, slow_nodes=1))
+    by_kind = campaign.summary()["by_kind"]
+    assert by_kind["crash"] == 2
+    assert by_kind["recover"] == 2
+    assert by_kind["partition"] == 1
+    assert by_kind["merge"] == 1
+    assert by_kind["loss"] == 2      # set + clear
+    assert by_kind["latency"] == 2
+    assert by_kind["slow"] == 2
+
+
+def test_capability_filtering_drops_unsupported_kinds():
+    campaign = ChaosCampaign(spec(capabilities=("crash",)))
+    kinds = {event.kind for event in campaign.events()}
+    assert kinds == {"crash"}  # no recover, partition, or overlays
+
+
+def test_partitions_cover_every_node():
+    campaign = ChaosCampaign(spec(partitions=1, crashes=0, loss_bursts=0,
+                                  latency_spikes=0, slow_nodes=0))
+    partitions = [e for e in campaign.events() if e.kind == "partition"]
+    assert partitions
+    for event in partitions:
+        covered = sorted(n for component in event.target for n in component)
+        assert covered == sorted(NODES)
+
+
+def test_spec_rejects_unknown_capability_and_empty_targets():
+    with pytest.raises(ValueError):
+        spec(capabilities=("teleport",))
+    with pytest.raises(ValueError):
+        spec(crashes=1, crash_targets=())
+    with pytest.raises(ValueError):
+        CampaignSpec(nodes=())
+
+
+# ---------------------------------------------------------------------------
+# Injectors
+# ---------------------------------------------------------------------------
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.signals = []
+
+    def poll(self):
+        return None
+
+    def send_signal(self, signum):
+        self.signals.append(signum)
+
+    def wait(self):
+        return 0
+
+
+def test_process_injector_rejects_network_faults():
+    runtime = SimRuntime(seed=0)
+    injector = ProcessInjector(runtime, {n: _FakeProcess() for n in NODES})
+    with pytest.raises(ValueError, match="cannot apply"):
+        injector.validate(ChaosCampaign(spec(partitions=1)))
+
+
+def test_process_injector_rejects_recover_without_spawn():
+    runtime = SimRuntime(seed=0)
+    injector = ProcessInjector(runtime, {n: _FakeProcess() for n in NODES})
+    with pytest.raises(ValueError, match="spawn"):
+        injector.validate(ChaosCampaign(
+            spec(capabilities=PROCESS_CAPABILITIES)))
+
+
+def test_process_injector_rejects_unknown_node():
+    runtime = SimRuntime(seed=0)
+    injector = ProcessInjector(runtime, {"n1": _FakeProcess()})
+    with pytest.raises(ValueError, match="unknown node"):
+        injector.validate(ChaosCampaign(
+            spec(capabilities=("crash",), crash_targets=("n2",))))
+
+
+def test_sim_injector_arms_and_applies_overlays():
+    runtime = SimRuntime(seed=0, keep_trace_records=True)
+    for node in NODES:
+        runtime.net.add_node(node)
+    campaign = ChaosCampaign(spec(crashes=0, partitions=0, loss_bursts=1,
+                                  latency_spikes=1, slow_nodes=1))
+    SimInjector(runtime).arm(campaign)
+    runtime.run_for(campaign.end_time + 1.0)
+    counts = runtime.trace.counters
+    assert counts["chaos.campaign.start"] == 1
+    assert counts["chaos.campaign.end"] == 1
+    assert counts["chaos.net.loss"] == 2      # set + clear
+    assert counts["chaos.net.latency"] == 2
+    assert counts["chaos.net.slow"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Invariant checker units
+# ---------------------------------------------------------------------------
+
+
+class _Record:
+    def __init__(self, op_id, ok=True, operation="op", rejected=False,
+                 latency=0.01, service="svc"):
+        self.op_id = op_id
+        self.operation = operation
+        self.service = service
+        self._ok = ok
+        self.rejected = rejected
+        self.latency = latency if ok else None
+        self.error = None if ok else RuntimeError("boom")
+
+    @property
+    def ok(self):
+        return self._ok
+
+
+def test_check_operations_flags_lost_and_duplicated():
+    checker = InvariantChecker()
+    records = [_Record("a"), _Record("b"), _Record("c", ok=False)]
+    checker.check_operations(records, {"a": 1, "b": 2})
+    violations = {v.invariant for v in checker.report.violations}
+    assert violations == {"no-duplicated-operation"}
+    checker2 = InvariantChecker()
+    checker2.check_operations(records, {"b": 1})
+    assert {v.invariant for v in checker2.report.violations} == {
+        "no-lost-operation"}
+
+
+def test_check_no_duplicates_scans_every_ledger():
+    checker = InvariantChecker()
+    checker.check_no_duplicates({"svc": {"x": 1, "y": 3}})
+    assert not checker.report.ok
+    assert checker.report.violations[0].detail["executions"] == 3
+
+
+def test_check_convergence_requires_identical_states():
+    checker = InvariantChecker()
+    checker.check_convergence({"g": [{"v": 1}, {"v": 1}]})
+    assert checker.report.ok
+    checker.check_convergence({"g": [{"v": 1}, {"v": 2}]})
+    assert not checker.report.ok
+
+
+def test_check_failover_bounds_crash_to_install():
+    events = [
+        (1.0, "node.crash", {"node": "n1"}, 0),
+        (1.4, "totem.install", {"ring": 2}, 0),
+    ]
+    checker = InvariantChecker()
+    durations = checker.check_failover(events, bound=1.0)
+    assert durations == [pytest.approx(0.4)]
+    assert checker.report.ok
+    strict = InvariantChecker()
+    strict.check_failover(events, bound=0.1)
+    assert not strict.report.ok
+
+
+def test_check_failover_flags_missing_install():
+    checker = InvariantChecker()
+    checker.check_failover([(1.0, "node.crash", {"node": "n1"}, 0)],
+                           bound=1.0)
+    assert not checker.report.ok
+    assert "no ring installed" in str(checker.report.violations[0].detail)
+
+
+# ---------------------------------------------------------------------------
+# SLO report
+# ---------------------------------------------------------------------------
+
+
+def test_slo_report_counts_rejections_as_available():
+    records = [_Record("a"), _Record("b", ok=False, rejected=True),
+               _Record("c", ok=False)]
+    report = build_slo_report(records, failover_durations=[0.5])
+    assert report["operations"]["offered"] == 3
+    assert report["operations"]["rejected"] == 1
+    assert report["availability"] == pytest.approx(2 / 3)
+    assert report["failover"]["count"] == 1
+    assert "svc" in report["services"]
+    assert "availability" in format_slo_report(report)
+
+
+# ---------------------------------------------------------------------------
+# End to end: a small campaign over a replicated group
+# ---------------------------------------------------------------------------
+
+
+def test_small_campaign_end_to_end_keeps_invariants():
+    runtime = SimRuntime(seed=3, keep_trace_records=True)
+    system = EternalSystem(NODES, runtime=runtime).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "accounts", lambda: AccountsService({"alice": 500, "bob": 500}),
+        NODES, GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    traffic = OltpTraffic(
+        runtime, {"accounts": system.stub("n1", ior)},
+        rate=10, duration=3.0,
+        mix=((2, "accounts", "deposit"), (1, "accounts", "debit")),
+    ).start()
+    campaign = ChaosCampaign(CampaignSpec(
+        nodes=NODES, seed=5, start=0.5, duration=2.5,
+        crashes=1, crash_targets=("n2",), partitions=0,
+        loss_bursts=0, latency_spikes=0, slow_nodes=0,
+    ))
+    SimInjector(runtime).arm(campaign)
+    system.run_for(12.0)
+    assert traffic.finished
+
+    states = list(system.states_of("accounts").values())
+    checker = InvariantChecker()
+    checker.check_operations(traffic.mutating_records(),
+                             states[0]["ledger"])
+    checker.check_no_duplicates({"accounts": states[0]["ledger"]})
+    checker.check_convergence({"accounts": states})
+    events = [(r.time, r.category, r.detail, 0)
+              for r in runtime.trace.records]
+    durations = checker.check_failover(events, bound=5.0)
+    assert checker.report.ok, checker.report.format()
+    assert durations  # the crash was measured

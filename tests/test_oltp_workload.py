@@ -1,0 +1,182 @@
+"""Tests for the OLTP chaos workload (repro.workloads.oltp)."""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.orb.exceptions import ApplicationError
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.runtime.sim import SimRuntime
+from repro.workloads import (
+    AccountsService,
+    CatalogService,
+    InsufficientBalance,
+    OltpRecord,
+    OltpTraffic,
+    OrdersService,
+    OutOfStock,
+)
+
+NODES = ["n1", "n2", "n3"]
+
+
+# ---------------------------------------------------------------------------
+# Servant semantics (direct, no replication)
+# ---------------------------------------------------------------------------
+
+
+def test_accounts_debit_rejects_overdraft_but_ledgers_the_attempt():
+    accounts = AccountsService({"alice": 10})
+    assert accounts.deposit("op1", "alice", 5) == 15
+    assert accounts.debit("op2", "alice", 15) == 0
+    with pytest.raises(InsufficientBalance):
+        accounts.debit("op3", "alice", 1)
+    # The ledger records entry *before* validation: the rejected debit
+    # still shows up, which is what lets the invariant checker attribute
+    # duplicated re-executions even for failing operations.
+    assert accounts.ledger == {"op1": 1, "op2": 1, "op3": 1}
+    assert accounts.balance_of("alice") == 0
+
+
+def test_catalog_reserve_release_and_out_of_stock():
+    catalog = CatalogService({"widget": 2})
+    assert catalog.reserve("r1", "widget", 2) == 0
+    with pytest.raises(OutOfStock):
+        catalog.reserve("r2", "widget", 1)
+    assert catalog.release("r3", "widget", 2) == 2
+    assert catalog.restock("r4", "widget", 3) == 5
+    assert catalog.ledger == {"r1": 1, "r2": 1, "r3": 1, "r4": 1}
+
+
+def test_servant_state_round_trips_through_checkpoint():
+    accounts = AccountsService({"alice": 10})
+    accounts.deposit("op1", "alice", 5)
+    clone = AccountsService()
+    clone.set_state(accounts.get_state())
+    assert clone.balances == {"alice": 15}
+    assert clone.ledger == {"op1": 1}
+
+
+def test_orders_state_is_canonical_regardless_of_append_order():
+    a, b = OrdersService(), OrdersService()
+    a.orders = [("o1", "alice", "widget", 1, 5), ("o2", "bob", "gizmo", 1, 5)]
+    b.orders = list(reversed(a.orders))
+    a.ledger = b.ledger = {"o1": 1, "o2": 1}
+    assert a.get_state() == b.get_state()
+
+
+def test_oltp_record_rejection_tagging():
+    record = OltpRecord("op1", "accounts", "debit", ("op1", "alice", 5), 0.0)
+    assert not record.rejected
+    record.error = ApplicationError("InsufficientBalance", "no")
+    assert record.rejected and not record.ok
+    record.error = RuntimeError("transport died")
+    assert not record.rejected
+
+
+# ---------------------------------------------------------------------------
+# The nested order chain over a replicated system
+# ---------------------------------------------------------------------------
+
+
+def _oltp_system(runtime):
+    system = EternalSystem(NODES, runtime=runtime).start()
+    system.stabilize()
+    accounts_ior = system.create_replicated(
+        "accounts", lambda: AccountsService({"alice": 100, "bob": 0}),
+        NODES, GroupPolicy(style=ReplicationStyle.ACTIVE))
+    catalog_ior = system.create_replicated(
+        "catalog", lambda: CatalogService({"widget": 3}),
+        NODES, GroupPolicy(style=ReplicationStyle.ACTIVE))
+    orders_ior = system.create_replicated(
+        "orders",
+        lambda: OrdersService(catalog_ref=catalog_ior,
+                              accounts_ref=accounts_ior),
+        NODES, GroupPolicy(style=ReplicationStyle.ACTIVE))
+    system.run_for(0.5)
+    return system, accounts_ior, catalog_ior, orders_ior
+
+
+def test_place_order_nests_reserve_then_debit():
+    system, accounts_ior, catalog_ior, orders_ior = _oltp_system(
+        SimRuntime(seed=1))
+    orders = system.stub("n1", orders_ior)
+    result = system.call(orders.place_order("o1", "alice", "widget", 2))
+    assert result["cost"] == 10
+    assert system.call(
+        system.stub("n1", catalog_ior).stock_of("widget")) == 1
+    assert system.call(
+        system.stub("n1", accounts_ior).balance_of("alice")) == 90
+    ledger = system.call(
+        system.stub("n1", catalog_ior).ledger_snapshot())
+    assert ledger == {"o1/reserve": 1}
+
+
+def test_place_order_compensates_when_payment_fails():
+    system, accounts_ior, catalog_ior, orders_ior = _oltp_system(
+        SimRuntime(seed=2))
+    orders = system.stub("n1", orders_ior)
+    with pytest.raises(ApplicationError, match="PaymentFailed"):
+        system.call(orders.place_order("o1", "bob", "widget", 1))
+    # Stock was reserved, then released by the compensation leg.
+    assert system.call(
+        system.stub("n1", catalog_ior).stock_of("widget")) == 3
+    ledger = system.call(
+        system.stub("n1", catalog_ior).ledger_snapshot())
+    assert ledger == {"o1/reserve": 1, "o1/release": 1}
+    assert system.call(orders.order_count()) == 0
+
+
+# ---------------------------------------------------------------------------
+# Traffic generation
+# ---------------------------------------------------------------------------
+
+
+class _RecordingStub:
+    """Resolves every call immediately with a canned future."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.calls = []
+
+    def __getattr__(self, op):
+        def invoke(*args):
+            self.calls.append((op, args))
+            from repro.orb.orb_core import Future
+            future = Future()
+            future.set_result(0)
+            return future
+        return invoke
+
+
+def _drive_traffic(seed, rate=30, duration=2.0):
+    runtime = SimRuntime(seed=seed)
+    stubs = {name: _RecordingStub(runtime)
+             for name in ("accounts", "catalog", "orders")}
+    traffic = OltpTraffic(runtime, stubs, rate=rate, duration=duration)
+    traffic.start()
+    runtime.run_for(duration + 1.0)
+    return traffic
+
+
+def test_traffic_is_deterministic_per_seed():
+    first = _drive_traffic(seed=42)
+    second = _drive_traffic(seed=42)
+    assert [(r.op_id, r.service, r.operation, r.args)
+            for r in first.records] == \
+           [(r.op_id, r.service, r.operation, r.args)
+            for r in second.records]
+    different = _drive_traffic(seed=43)
+    assert [(r.operation, r.args) for r in first.records] != \
+           [(r.operation, r.args) for r in different.records]
+
+
+def test_traffic_completes_and_filters_reads():
+    traffic = _drive_traffic(seed=7)
+    assert traffic.records  # the window actually produced load
+    assert traffic.pending == 0
+    assert traffic.finished
+    reads = {"balance_of", "stock_of", "ledger_snapshot", "order_count"}
+    mutating = traffic.mutating_records()
+    assert all(r.operation not in reads for r in mutating)
+    assert all(r.args[0] == r.op_id for r in mutating)
+    assert len(mutating) < len(traffic.records)  # mix includes reads
