@@ -131,6 +131,42 @@ class InvariantChecker:
                     "states": [repr(state) for state in states]})
         return self.report
 
+    # -- read consistency ------------------------------------------------
+
+    def check_linearizable_reads(self, reads):
+        """No linearizable read observed less than its write floor.
+
+        ``reads`` is an iterable of ``(label, observed, floor)`` tuples:
+        ``observed`` is the monotone counter value the read returned and
+        ``floor`` the value every linearizable read issued at that moment
+        was obliged to see (the caller computes it -- typically the count
+        of writes *acknowledged* before the read was issued).  A read
+        below its floor returned stale state: the lease machinery let a
+        deposed leader answer, which is exactly what leases must prevent.
+        """
+        self.report.record("linearizable-reads")
+        for label, observed, floor in reads:
+            if observed < floor:
+                self.report.violate("linearizable-read", {
+                    "read": label, "observed": observed, "floor": floor})
+        return self.report
+
+    def check_bounded_stale_reads(self, reads):
+        """No bounded-stale read exceeded its declared staleness bound.
+
+        Same tuple shape as :meth:`check_linearizable_reads`, but the
+        caller derates the floor by the staleness contract: writes
+        acknowledged before (issue time - lease beacon interval) minus
+        ``max_lag`` operations.  A read below even that derated floor is
+        staler than the backup was allowed to serve.
+        """
+        self.report.record("bounded-stale-reads")
+        for label, observed, floor in reads:
+            if observed < floor:
+                self.report.violate("bounded-stale-read", {
+                    "read": label, "observed": observed, "floor": floor})
+        return self.report
+
     # -- failover --------------------------------------------------------
 
     def check_failover(self, events, bound, crash_times=None):

@@ -263,9 +263,13 @@ class EternalSystem:
         return self.create_replicated(group, factory, locations, policy,
                                       ring=ring)
 
-    def stub(self, node_id, ior, interface=None):
-        """A client stub bound to a node's ORB."""
-        return self.nodes[node_id].orb.stub(ior, interface)
+    def stub(self, node_id, ior, interface=None, read=None):
+        """A client stub bound to a node's ORB.
+
+        ``read`` (a :class:`~repro.replication.reads.ReadOptions`) opts
+        the stub's READ_ONLY operations into the local read path.
+        """
+        return self.nodes[node_id].orb.stub(ior, interface, read=read)
 
     def call(self, future, timeout=30.0):
         """Drive the runtime until the invocation completes."""

@@ -142,30 +142,53 @@ class HeartbeatFaultDetector:
         )
 
     def _ping(self, target):
-        future = self.orb.invoke(target.ior, "is_alive", (), timeout=0)
+        future = self._invoke_target(target)
         target.pending = future
         sent = self.ep.now
         target.deadline = sent + self.timeout
 
         def complete(fut):
             target.pending = None
-            if fut.exception() is None and fut.result() is True:
+            if fut.exception() is None and self._reply_ok(fut.result()):
                 target.misses = 0
                 target.last_ok = self.ep.now
                 telemetry = getattr(self.ep, "telemetry", None)
                 if telemetry is not None:
                     telemetry.metrics.histogram("ftdet.rtt").record(
                         self.ep.now - sent)
+                self._on_reply_ok(target, fut, sent)
             else:
                 target.misses += 1
                 self.ep.emit("ftdet.miss", {"target": target.name,
                                             "misses": target.misses})
+                self._on_reply_failed(target, fut, sent)
                 if target.misses >= self.miss_threshold and not target.suspected:
                     target.suspected = True
                     self.ep.emit("ftdet.suspect", {"target": target.name})
                     self.on_fault(target.name, self.ep.now)
 
         future.add_done_callback(complete)
+
+    # -- Extension points ------------------------------------------------
+    # Subclasses reuse the timer chain, deadline withdrawal, miss
+    # accounting, and RTT histogram for other periodic request/response
+    # protocols (e.g. read-lease renewal in repro.replication.leases) by
+    # overriding what is sent, what counts as success, and what a
+    # successful round means.
+
+    def _invoke_target(self, target):
+        """Issue one probe invocation; returns the reply future."""
+        return self.orb.invoke(target.ior, "is_alive", (), timeout=0)
+
+    def _reply_ok(self, result):
+        """Whether a reply value counts as a successful round."""
+        return result is True
+
+    def _on_reply_ok(self, target, future, sent_time):
+        """Hook: a probe succeeded (``sent_time`` is when it left)."""
+
+    def _on_reply_failed(self, target, future, sent_time):
+        """Hook: a probe missed its deadline or returned a failure."""
 
     def suspected(self):
         """Names currently suspected faulty."""

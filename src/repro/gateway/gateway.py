@@ -71,7 +71,27 @@ class Gateway:
             self._telemetry.metrics.counter("gateway.forwarded").inc()
         self.ep.emit("gateway.forward", {"key": request.object_key,
                                           "op": request.operation})
-        if self.tier is not None:
+        read_context = request.service_context.get("read")
+        if (request.response_expected and read_context is not None
+                and self.engine.reads.wants_local(read_context)):
+            # An external client's annotated read: route it to the
+            # nearest/least-loaded eligible replica, falling back to the
+            # ordered group invocation on rejection or lease loss.
+            group = group_ior.group_profile().group_name
+            future = self.engine.reads.invoke_with_fallback(
+                group, request.operation, _decode_args(request),
+                read_context,
+                ordered=lambda: self.engine.invoke_group(
+                    group_ior,
+                    request.operation,
+                    _decode_args(request),
+                    operation_id=self._tier_operation_id(request)
+                    if self.tier is not None else None,
+                    client_group=self.tier.group
+                    if self.tier is not None else None,
+                ),
+            )
+        elif self.tier is not None:
             future = self.engine.invoke_group(
                 group_ior,
                 request.operation,

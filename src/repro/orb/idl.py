@@ -6,6 +6,15 @@ with the :func:`operation` decorator; :func:`interface_of` extracts the
 interface description used by the POA for dispatch and by stubs for
 argument checking.
 
+Operation semantics: every operation declares whether it mutates servant
+state (``OperationSemantics.MUTATING``, the safe default) or is a pure
+read (``OperationSemantics.READ_ONLY``), plus an idempotence flag.  The
+descriptors travel with the interface end-to-end: stubs annotate read
+invocations, the interception point routes on them, and the replication
+engine uses them both to skip passive state pushes after reads and to
+serve declared reads locally without a token round (see
+``repro.replication.reads``).
+
 Nested operations: a servant method that must invoke another object cannot
 block (the simulation is event-driven), so it is written as a *generator*
 that yields :class:`NestedCall` values; the dispatcher performs the call
@@ -35,18 +44,41 @@ class NestedCall:
         return "NestedCall(%s, args=%d)" % (self.operation, len(self.args))
 
 
-def operation(oneway=False, read_only=False):
+class OperationSemantics:
+    """Declared state semantics of an operation."""
+
+    READ_ONLY = "read_only"
+    MUTATING = "mutating"
+
+    ALL = (READ_ONLY, MUTATING)
+
+
+def operation(oneway=False, read_only=False, semantics=None, idempotent=None):
     """Mark a servant method as a remotely invocable operation.
 
     Args:
         oneway: no reply is expected (CORBA oneway semantics).
-        read_only: the operation does not modify servant state; replication
-            styles may exploit this (e.g. passive replication need not push
-            a state update after a read-only operation).
+        read_only: legacy spelling of ``semantics=READ_ONLY``.
+        semantics: :class:`OperationSemantics` value.  Defaults to
+            ``MUTATING`` (the safe assumption) unless ``read_only`` is set.
+        idempotent: re-executing the operation yields the same outcome, so
+            it is safe to retry on an ambiguous failure.  Defaults to True
+            for read-only operations and False for mutating ones.
     """
+    if semantics is None:
+        semantics = (OperationSemantics.READ_ONLY if read_only
+                     else OperationSemantics.MUTATING)
+    if semantics not in OperationSemantics.ALL:
+        raise ValueError("unknown operation semantics %r" % (semantics,))
+    if idempotent is None:
+        idempotent = semantics == OperationSemantics.READ_ONLY
 
     def mark(func):
-        func._idl_operation = {"oneway": oneway, "read_only": read_only}
+        func._idl_operation = {
+            "oneway": oneway,
+            "semantics": semantics,
+            "idempotent": idempotent,
+        }
         return func
 
     return mark
@@ -55,20 +87,32 @@ def operation(oneway=False, read_only=False):
 class OperationInfo:
     """Metadata for one interface operation."""
 
-    __slots__ = ("name", "oneway", "read_only")
+    __slots__ = ("name", "oneway", "semantics", "idempotent")
 
-    def __init__(self, name, oneway, read_only):
+    def __init__(self, name, oneway, semantics=OperationSemantics.MUTATING,
+                 idempotent=None):
         self.name = name
         self.oneway = oneway
-        self.read_only = read_only
+        self.semantics = semantics
+        if idempotent is None:
+            idempotent = semantics == OperationSemantics.READ_ONLY
+        self.idempotent = idempotent
+
+    @property
+    def read_only(self):
+        return self.semantics == OperationSemantics.READ_ONLY
+
+    @property
+    def mutating(self):
+        return self.semantics == OperationSemantics.MUTATING
 
     def __repr__(self):
-        flags = []
+        flags = [self.semantics]
         if self.oneway:
             flags.append("oneway")
-        if self.read_only:
-            flags.append("read_only")
-        return "OperationInfo(%s%s)" % (self.name, " " + ",".join(flags) if flags else "")
+        if self.idempotent:
+            flags.append("idempotent")
+        return "OperationInfo(%s %s)" % (self.name, ",".join(flags))
 
 
 class InterfaceInfo:
@@ -118,7 +162,9 @@ def interface_of(servant_or_class):
         member = getattr(cls, name, None)
         meta = getattr(member, "_idl_operation", None)
         if meta is not None:
-            operations[name] = OperationInfo(name, meta["oneway"], meta["read_only"])
+            operations[name] = OperationInfo(
+                name, meta["oneway"], meta["semantics"], meta["idempotent"]
+            )
     repository_id = getattr(cls, "REPOSITORY_ID", None) or "IDL:%s:1.0" % cls.__name__
     info = InterfaceInfo(repository_id, operations)
     cls._idl_interface = info

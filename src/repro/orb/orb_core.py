@@ -117,28 +117,49 @@ class Stub:
     Each method call returns a :class:`Future`.  If an interface class is
     supplied, operation names are checked and oneway flags honored;
     otherwise every operation is assumed two-way.
+
+    ``read`` (a ``repro.replication.reads.ReadOptions``) opts declared
+    READ_ONLY operations into the local read path: with an interface the
+    annotation is attached only to operations the interface declares
+    read-only; without one it is attached to every two-way call and the
+    *server* interface check routes mutating operations back to the
+    ordered path.
     """
 
-    def __init__(self, orb, ior, interface=None):
+    def __init__(self, orb, ior, interface=None, read=None):
         self._orb = orb
         self._ior = ior
         self._interface = interface_of(interface) if interface is not None else None
+        self._read = read
 
     @property
     def ior(self):
         return self._ior
 
+    def reading(self, read):
+        """A copy of this stub with different read options."""
+        stub = Stub.__new__(Stub)
+        stub._orb = self._orb
+        stub._ior = self._ior
+        stub._interface = self._interface
+        stub._read = read
+        return stub
+
     def __getattr__(self, name):
         if name.startswith("_"):
             raise AttributeError(name)
         response_expected = True
+        read = self._read
         if self._interface is not None:
             info = self._interface.operation_info(name)
             response_expected = not info.oneway
+            if not info.read_only:
+                read = None
 
         def call(*args):
             return self._orb.invoke(
-                self._ior, name, args, response_expected=response_expected
+                self._ior, name, args, response_expected=response_expected,
+                read=read,
             )
 
         call.__name__ = name
@@ -294,23 +315,32 @@ class ORB:
     # Client side
     # ------------------------------------------------------------------
 
-    def stub(self, ior, interface=None):
-        """Create a client proxy for a reference (accepts IOR or string)."""
+    def stub(self, ior, interface=None, read=None):
+        """Create a client proxy for a reference (accepts IOR or string).
+
+        ``read`` opts the stub's declared read-only operations into the
+        local read path; see :class:`Stub`.
+        """
         if isinstance(ior, str):
             ior = IOR.from_string(ior)
-        return Stub(self, ior, interface)
+        return Stub(self, ior, interface, read=read)
 
     def next_request_id(self):
         self._request_counter += 1
         return self._request_counter
 
-    def invoke(self, target, operation, args=(), response_expected=True, timeout=None):
+    def invoke(self, target, operation, args=(), response_expected=True, timeout=None,
+               read=None):
         """Invoke ``operation`` on a target IOR/stub; returns a Future.
 
         ``timeout`` overrides the ORB-wide request timeout; passing ``0``
         disarms the ORB's deadline entirely -- the caller owns the
         deadline and resolves or forgets the request itself (the fault
         detectors do this to avoid one throwaway timer per heartbeat).
+
+        ``read`` (``ReadOptions`` or an equivalent dict) annotates the
+        request's service context so the interception point may serve it
+        on the local read path instead of the ordered one.
         """
         if isinstance(target, Stub):
             target = target.ior
@@ -324,6 +354,10 @@ class ORB:
             encode_value(tuple(args)),
             response_expected=response_expected,
         )
+        if read is not None and response_expected:
+            request.service_context["read"] = (
+                read.as_context() if hasattr(read, "as_context") else dict(read)
+            )
         future.request_id = request.request_id
         self.ep.emit("orb.invoke", {"op": operation, "node": self.node_id})
         if response_expected:

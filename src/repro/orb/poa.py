@@ -102,10 +102,25 @@ class POA:
                 return
             if _is_generator(result):
                 self._drive(request, respond, result, None, None, context)
+            elif _is_future(result):
+                # A servant may defer its reply (e.g. the local read port
+                # serializes reads through a replica dispatcher); the
+                # Reply fires when the future resolves.
+                self._respond_on_resolution(request, respond, result)
             else:
                 respond(self._success_reply(request, result))
         finally:
             self.orb.current_context = previous
+
+    def _respond_on_resolution(self, request, respond, future):
+        def complete(fut):
+            exc = fut.exception()
+            if exc is not None:
+                respond(self._exception_reply(request, exc))
+            else:
+                respond(self._success_reply(request, fut.result()))
+
+        future.add_done_callback(complete)
 
     def _drive(self, request, respond, generator, send_value, throw_exc, context):
         """Resume a generator servant method with a nested-call result."""
@@ -194,3 +209,8 @@ class POA:
 
 def _is_generator(obj):
     return hasattr(obj, "send") and hasattr(obj, "throw") and hasattr(obj, "__next__")
+
+
+def _is_future(obj):
+    # Duck-typed so the POA needs no import of the Future class.
+    return hasattr(obj, "add_done_callback") and hasattr(obj, "exception")

@@ -17,19 +17,31 @@ from repro.orb.ior import IOR
 
 
 class TypedStubBase:
-    """Common plumbing for generated stub classes."""
+    """Common plumbing for generated stub classes.
+
+    ``read`` (a ``repro.replication.reads.ReadOptions``) opts the
+    interface's declared READ_ONLY operations into the local read path;
+    mutating operations always use the ordered path -- the descriptor is
+    known statically here, so the decision is baked into each generated
+    method.
+    """
 
     _interface = None  # set by generate_stub_class
 
-    def __init__(self, orb, ior):
+    def __init__(self, orb, ior, read=None):
         if isinstance(ior, str):
             ior = IOR.from_string(ior)
         self._orb = orb
         self._ior = ior
+        self._read = read
 
     @property
     def ior(self):
         return self._ior
+
+    def reading(self, read):
+        """A copy of this stub with different read options."""
+        return type(self)(self._orb, self._ior, read=read)
 
     def __repr__(self):
         return "%s(%s)" % (type(self).__name__, self._ior.type_id)
@@ -37,22 +49,23 @@ class TypedStubBase:
 
 def _make_method(operation_info):
     response_expected = not operation_info.oneway
+    routes_reads = operation_info.read_only
 
     def method(self, *args):
         return self._orb.invoke(
             self._ior, operation_info.name, args,
             response_expected=response_expected,
+            read=self._read if routes_reads else None,
         )
 
     method.__name__ = operation_info.name
-    flags = []
+    flags = [operation_info.semantics.replace("_", "-")]
     if operation_info.oneway:
         flags.append("oneway")
-    if operation_info.read_only:
-        flags.append("read-only")
-    method.__doc__ = "Invoke %s()%s; returns a Future." % (
-        operation_info.name,
-        " [%s]" % ", ".join(flags) if flags else "",
+    if operation_info.idempotent:
+        flags.append("idempotent")
+    method.__doc__ = "Invoke %s() [%s]; returns a Future." % (
+        operation_info.name, ", ".join(flags),
     )
     return method
 

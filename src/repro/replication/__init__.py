@@ -30,7 +30,9 @@ from repro.replication.identifiers import (
     nested_operation_id,
     top_level_operation_id,
 )
+from repro.replication.leases import LeaseGrantor, LeaseManager, LeaseRenewer
 from repro.replication.manager import ObjectGroupRecord, ReplicationManager
+from repro.replication.reads import ReadConsistency, ReadCoordinator, ReadOptions
 from repro.replication.replica import LocalReplica, PendingRequest
 from repro.replication.rings import RingMap
 from repro.replication.styles import GroupPolicy, ReplicationStyle
@@ -48,8 +50,14 @@ __all__ = [
     "fulfillment_operation_id",
     "nested_operation_id",
     "top_level_operation_id",
+    "LeaseGrantor",
+    "LeaseManager",
+    "LeaseRenewer",
     "ObjectGroupRecord",
     "ReplicationManager",
+    "ReadConsistency",
+    "ReadCoordinator",
+    "ReadOptions",
     "LocalReplica",
     "PendingRequest",
     "RingMap",

@@ -35,6 +35,8 @@ from repro.replication.identifiers import (
     OperationIdAllocator,
     fulfillment_operation_id,
 )
+from repro.replication.leases import LeaseGrantor, LeaseManager
+from repro.replication.reads import LocalReadPort, ReadCoordinator
 from repro.replication.replica import ExecutionTask, LocalReplica, PendingRequest
 from repro.replication.rings import RingMap
 from repro.replication.styles import GroupPolicy, ReplicationStyle
@@ -69,6 +71,17 @@ class GroupRouter:
 
     def send_request(self, ior, request, future):
         if ior.is_group_reference():
+            read_context = request.service_context.get("read")
+            if (read_context is not None
+                    and self.engine.reads.wants_local(read_context)
+                    and not isinstance(self.engine.orb.current_context,
+                                       ExecutionContext)):
+                # A declared read annotated for the local path.  Reads
+                # issued from *inside* replicated execution stay ordered:
+                # each replica would otherwise observe a different local
+                # state and diverge.
+                self.engine.reads.send_read(ior, request, future)
+                return
             self.engine.send_group_request(ior, request, future)
             return
         context = self.engine.orb.current_context
@@ -158,6 +171,14 @@ class ReplicationEngine:
         # Interception: divert group-addressed requests, keep the direct
         # path for plain IIOP references.
         orb.router = GroupRouter(self, orb.router)
+        # Local read path: lease state (holder + granter sides) and the
+        # read coordinator, with their per-node plain-IIOP servants.
+        self.leases = LeaseManager(self)
+        self.reads = ReadCoordinator(self)
+        orb.poa._servants.setdefault(LeaseGrantor.OBJECT_KEY,
+                                     LeaseGrantor(self))
+        orb.poa._servants.setdefault(LocalReadPort.OBJECT_KEY,
+                                     LocalReadPort(self))
         # Client groups are joined on *every* ring this node runs: replies
         # from object groups on any ring then reach the client directly on
         # that ring, with no cross-ring forwarding hop.
@@ -191,11 +212,13 @@ class ReplicationEngine:
         self.client_reply_cache.clear()
         self._assemblers.clear()
         self._cross_ring_client_joins.clear()
+        self.leases.on_crash()
 
     def _on_node_recover(self):
         for member in self._ring_members.values():
             for name in self._client_groups:
                 member.join(name)
+        self.leases.on_recover()
 
     # ------------------------------------------------------------------
     # Ring routing
@@ -278,6 +301,7 @@ class ReplicationEngine:
         replica = self.replicas.pop(group, None)
         if replica is None:
             return
+        self.leases.drop(group)
         self.orb.poa._servants.pop("group:%s" % group, None)
         self._member_for(group).leave(group)
 
@@ -1104,6 +1128,10 @@ class ReplicationEngine:
             old_primary = choose_primary(old) if old else None
             if old_primary != self.node_id:
                 self._reissue_external_calls(replica)
+        # Lease renewal tracks the view: a new primary starts requesting
+        # grants (it cannot *hold* the lease until the old primary's
+        # grants expire at every backup); a demoted one stops.
+        self.leases.sync(replica)
 
     def _fail_over(self, replica):
         """This node became the passive primary: finish uncovered work."""
@@ -1373,6 +1401,7 @@ class ReplicationEngine:
                                            "node": self.node_id,
                                            "replay": len(replica.buffered)})
         self._replay_buffered(replica)
+        self.leases.sync(replica)
 
     def _replay_buffered(self, replica):
         buffered, replica.buffered = replica.buffered, []

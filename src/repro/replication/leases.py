@@ -1,0 +1,259 @@
+"""Leader read leases: time-bounded permission to serve linearizable reads.
+
+The classic leader-lease protocol adapted to the Eternal stack.  The
+primary of a lease-enabled group (``GroupPolicy(read_leases=True)``)
+continuously requests short, time-bounded grants from every backup in the
+current view, riding the fault detector's heartbeat machinery (one
+rearming timer chain per backup, deadline withdrawal, miss accounting,
+the shared ``ftdet.rtt`` histogram).  A linearizable read may be served
+at the primary only while it holds an unexpired grant from *all* current
+backups -- any competing primary in another partition component would
+need a grant from at least one of the same backups, and a granter never
+promises two holders overlapping windows.
+
+Timing discipline (the usual skew-hardening, from the holder's side all
+measurements are conservative):
+
+- the holder measures a grant's validity from the moment the request was
+  *sent*, so network delay only shortens its window;
+- the holder additionally discards grants ``read_lease_margin`` seconds
+  early, covering clock-rate skew on real clocks;
+- the granter records its promise as ``receive_time + duration + margin``
+  and refuses a *different* holder until that passes;
+- a restarted granter refuses every grant for one full lease window after
+  recovery, because its pre-crash promises died with its memory.
+
+Each renewal piggybacks the primary's ``ops_applied`` position; backups
+record it (with its arrival time) and use it to bound the staleness of
+local BOUNDED_STALE reads (see :mod:`repro.replication.reads`).
+
+Failure model: leases make *crashed* leaders safe -- a SIGKILL'd leader
+cannot serve after its last grant expires, and its successor cannot
+acquire the lease before then.  Under a network *partition* both sides
+of the split may end up with leases over disjoint backup sets; that
+mirrors this system's continued-operation model (writes, too, proceed in
+both components and reconcile at remerge), and is documented in
+docs/READS.md rather than prevented.
+"""
+
+from repro.faultdetect.detector import HeartbeatFaultDetector
+from repro.orb.idl import Servant, operation
+from repro.orb.ior import IIOPProfile, IOR
+from repro.orb.orb_core import DEFAULT_PORT
+
+
+def lease_grantor_ior(node_id, port=DEFAULT_PORT):
+    """Plain-IIOP reference to a node's lease grantor servant."""
+    return IOR("IDL:LeaseGrantor:1.0",
+               [IIOPProfile(node_id, port, LeaseGrantor.OBJECT_KEY)])
+
+
+class LeaseGrantor(Servant):
+    """Per-node granter side: promises at most one holder per group."""
+
+    OBJECT_KEY = "ft/lease"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    @operation(idempotent=True)
+    def grant_read_lease(self, group, holder, duration, position):
+        leases = self.engine.leases
+        ep = self.engine.ep
+        now = ep.now
+        margin = self._margin(group)
+
+        def deny(reason):
+            ep.emit("read.lease", {"group": group, "node": ep.node_id,
+                                   "event": "denied:" + reason,
+                                   "holder": holder})
+            return ("denied", reason)
+
+        blackout = leases.grant_blackout_until(duration, margin)
+        if blackout is not None and now < blackout:
+            # Freshly recovered: pre-crash promises are unknown, so wait
+            # out one full window before granting to anyone.
+            return deny("blackout")
+        current = leases.granted.get(group)
+        if current is not None and current[0] != holder and now < current[1]:
+            return deny("held")
+        leases.granted[group] = (holder, now + duration + margin)
+        leases.note_position(group, position)
+        ep.emit("read.lease", {"group": group, "node": ep.node_id,
+                               "event": "granted", "holder": holder})
+        return ("granted",)
+
+    def _margin(self, group):
+        replica = self.engine.replicas.get(group)
+        if replica is not None:
+            return replica.policy.read_lease_margin
+        return 0.05
+
+
+class LeaseRenewer(HeartbeatFaultDetector):
+    """Holder side for one group: renews grants from every backup.
+
+    Reuses the fault detector's timer chain and RTT accounting; only the
+    probe payload (a ``grant_read_lease`` invocation carrying the
+    primary's position) and the success bookkeeping differ.  Misses are
+    not escalated to suspicion -- a backup that stops granting simply
+    lets its grant lapse, and view changes re-derive the target set.
+    """
+
+    def __init__(self, manager, group, policy):
+        super().__init__(
+            manager.engine.orb,
+            interval=policy.read_lease_interval,
+            timeout=policy.read_lease_interval,
+            miss_threshold=1 << 62,
+        )
+        self.manager = manager
+        self.group = group
+        self.duration = policy.read_lease_duration
+        self.margin = policy.read_lease_margin
+        self.grants = {}   # backup node -> expiry (send time + duration)
+        self._held = False
+
+    def set_targets(self, backups):
+        for name in list(self.targets):
+            if name not in backups:
+                self.forget(name)
+                self.grants.pop(name, None)
+        for name in sorted(backups):
+            if name not in self.targets:
+                self.monitor(name, lease_grantor_ior(name, self.orb.port))
+        self.start()
+        self._note_transition()
+
+    def _invoke_target(self, target):
+        replica = self.manager.engine.replicas.get(self.group)
+        position = replica.ops_applied if replica is not None else 0
+        return self.orb.invoke(
+            target.ior, "grant_read_lease",
+            (self.group, self.orb.node_id, self.duration, position),
+            timeout=0,
+        )
+
+    def _reply_ok(self, result):
+        return (isinstance(result, (tuple, list)) and len(result) >= 1
+                and result[0] == "granted")
+
+    def _on_reply_ok(self, target, future, sent_time):
+        self.grants[target.name] = sent_time + self.duration
+        self._note_transition()
+
+    def _on_reply_failed(self, target, future, sent_time):
+        self._note_transition()
+
+    def holds(self, backups):
+        """Unexpired grants (minus the skew margin) from every backup."""
+        if not self.running:
+            return False
+        now = self.ep.now
+        for name in backups:
+            expiry = self.grants.get(name)
+            if expiry is None or now >= expiry - self.margin:
+                return False
+        return True
+
+    def _note_transition(self):
+        held = self.manager.holds(self.group)
+        if held != self._held:
+            self._held = held
+            self.ep.emit("read.lease", {
+                "group": self.group, "node": self.orb.node_id,
+                "event": "acquired" if held else "lost",
+                "holder": self.orb.node_id,
+            })
+
+
+class LeaseManager:
+    """Per-engine lease state: holder-side renewers plus granter records."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.renewers = {}    # group -> LeaseRenewer (this node is primary)
+        self.granted = {}     # group -> (holder, granter-side expiry)
+        self.positions = {}   # group -> (primary ops_applied, received at)
+        self._recovered_at = None
+
+    # -- Holder side ----------------------------------------------------
+
+    def sync(self, replica):
+        """Reconcile renewal activity with the replica's current view.
+
+        Called after every membership/view change and on host/unhost: a
+        ready primary of a lease-enabled group renews against its current
+        backups; everyone else stops (leases lapse by expiry, never by
+        message).
+        """
+        group = replica.group
+        policy = replica.policy
+        should_renew = (policy.read_leases and replica.ready
+                        and replica.is_primary and replica.members)
+        if not should_renew:
+            self.drop(group)
+            return
+        renewer = self.renewers.get(group)
+        if renewer is None:
+            renewer = self.renewers[group] = LeaseRenewer(self, group, policy)
+        backups = set(replica.members) - {self.engine.node_id}
+        renewer.set_targets(backups)
+
+    def drop(self, group):
+        renewer = self.renewers.pop(group, None)
+        if renewer is not None:
+            renewer.stop()
+
+    def holds(self, group):
+        """Does this node currently hold the group's read lease?
+
+        Requires the replica to be the ready primary of a view no smaller
+        than ``min_replicas`` (a lone partitioned leader must not
+        self-certify) with unexpired grants from every current backup.
+        """
+        replica = self.engine.replicas.get(group)
+        if replica is None or not replica.ready or not replica.is_primary:
+            return False
+        if len(replica.members) < max(replica.policy.min_replicas, 2):
+            return False
+        renewer = self.renewers.get(group)
+        if renewer is None:
+            return False
+        backups = set(replica.members) - {self.engine.node_id}
+        return renewer.holds(backups)
+
+    # -- Granter side ---------------------------------------------------
+
+    def note_position(self, group, position):
+        self.positions[group] = (position, self.engine.ep.now)
+
+    def primary_position(self, group):
+        """Last piggybacked primary position: (ops_applied, received_at)."""
+        return self.positions.get(group)
+
+    def grant_blackout_until(self, duration, margin):
+        if self._recovered_at is None:
+            return None
+        return self._recovered_at + duration + margin
+
+    # -- Lifecycle ------------------------------------------------------
+
+    def on_crash(self):
+        """This node's process died: all volatile lease state is gone."""
+        for group in list(self.renewers):
+            self.drop(group)
+        self.granted.clear()
+        self.positions.clear()
+
+    def on_recover(self):
+        """Back from a crash: black out grants for one lease window."""
+        self._recovered_at = self.engine.ep.now
+
+    def stats(self):
+        return {
+            "renewing": sorted(self.renewers),
+            "held": sorted(g for g in self.renewers if self.holds(g)),
+            "granted": {g: holder for g, (holder, _exp) in
+                        sorted(self.granted.items())},
+        }

@@ -142,7 +142,19 @@ class ReplicationManager:
         return placements
 
     def _pick_spare(self, record):
-        for node_id in self.spares:
+        """Choose a spare for ``record``, ring-aware.
+
+        Eligible spares must be alive, not already hosting the group, and
+        run the group's home ring (a node outside the ring cannot order
+        its traffic).  Among the eligible, prefer spares whose protocol
+        stack is *native* to the home ring -- fewest total rings joined,
+        so a dedicated ring-local spare beats a cross-ring generalist --
+        then the least-loaded (fewest hosted replicas), then registration
+        order for determinism.
+        """
+        best = None
+        best_rank = None
+        for index, node_id in enumerate(self.spares):
             engine = self.engines[node_id]
             if not engine.ep.alive:
                 continue
@@ -152,8 +164,10 @@ class ReplicationManager:
                 continue
             if not engine.participates_in(record.group):
                 continue  # the spare does not run this group's ring
-            return node_id
-        return None
+            rank = (len(engine._ring_members), len(engine.replicas), index)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = node_id, rank
+        return best
 
     # ------------------------------------------------------------------
     # Helpers

@@ -43,6 +43,20 @@ class ReplicationStyle:
     def is_passive(cls, style):
         return style in (cls.WARM_PASSIVE, cls.COLD_PASSIVE)
 
+    @classmethod
+    def leader_serves_reads(cls, style):
+        """True when the leader's local state reflects every acked write.
+
+        In the passive and semi-active styles only the leader executes (or
+        only the leader replies), so a write is acknowledged no earlier
+        than the leader applies it -- a leased leader-local read is
+        linearizable.  Under ACTIVE replication a fast *follower's* reply
+        can win the duplicate-suppression race and acknowledge a write the
+        leader has not executed yet, so leader-local reads are not
+        linearizable and reads fall back to the ordered path.
+        """
+        return style in (cls.WARM_PASSIVE, cls.COLD_PASSIVE, cls.SEMI_ACTIVE)
+
 
 class GroupPolicy:
     """Per-object-group replication policy.
@@ -69,6 +83,20 @@ class GroupPolicy:
             regime).
         sanitize_environment: whether servants' time()/random() reads are
             sanitized (see :mod:`repro.determinism.sanitizer`).
+        read_leases: enable the local read path for this group.  The
+            primary continuously renews time-bounded read leases from the
+            backups (piggybacking its ``ops_applied`` position, which the
+            backups use to bound staleness); declared READ_ONLY operations
+            can then be served at a replica without a token round.  Off by
+            default: existing groups keep the ordered path byte-identical.
+        read_lease_duration: lease validity window in seconds, measured
+            from the moment the grant request was *sent* (so the holder's
+            window is conservative regardless of network delay).
+        read_lease_interval: renewal cadence; defaults to a third of the
+            duration so two renewals can be lost before the lease lapses.
+        read_lease_margin: clock-skew safety margin.  The holder treats a
+            grant as expired ``margin`` seconds early; the granter holds
+            its promise ``margin`` seconds longer.
     """
 
     def __init__(
@@ -82,6 +110,10 @@ class GroupPolicy:
         read_only_skip_update=True,
         dispatch_policy="deterministic",
         sanitize_environment=True,
+        read_leases=False,
+        read_lease_duration=0.4,
+        read_lease_interval=None,
+        read_lease_margin=0.05,
     ):
         self.style = ReplicationStyle.validate(style)
         if state_transfer not in ("blocking", "incremental"):
@@ -98,6 +130,14 @@ class GroupPolicy:
         self.read_only_skip_update = read_only_skip_update
         self.dispatch_policy = dispatch_policy
         self.sanitize_environment = sanitize_environment
+        if read_lease_duration <= 0:
+            raise ValueError("read_lease_duration must be positive")
+        self.read_leases = read_leases
+        self.read_lease_duration = read_lease_duration
+        self.read_lease_interval = (read_lease_interval
+                                    if read_lease_interval is not None
+                                    else read_lease_duration / 3.0)
+        self.read_lease_margin = read_lease_margin
 
     def copy(self, **overrides):
         fields = dict(self.__dict__)

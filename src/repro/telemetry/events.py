@@ -272,6 +272,18 @@ register_category("chaos.process.signal", ("node", "signal"),
 register_category("chaos.process.respawn", ("node",),
                   "process-level injector restarted a killed node process")
 
+# Local read path (repro.replication.reads + repro.replication.leases).
+register_category("read.local", ("group", "node", "mode", "lag"),
+                  "declared read served locally without a token round")
+register_category("read.route", ("group", "node", "target", "mode"),
+                  "read routed to a chosen eligible replica")
+register_category("read.reject", ("group", "node", "mode", "reason"),
+                  "local read refused by eligibility checks")
+register_category("read.fallback", ("group", "op", "reason"),
+                  "read fell back to the ordered (token) path")
+register_category("read.lease", ("group", "node", "event", "holder"),
+                  "read-lease lifecycle: granted/denied/acquired/lost")
+
 # OLTP workload (repro.workloads.oltp): client-side traffic accounting.
 register_category("oltp.request", ("service", "op"),
                   "one generated OLTP invocation departed")

@@ -28,6 +28,8 @@ from repro.workloads.generators import (
 )
 from repro.workloads.oltp import (
     DEFAULT_MIX,
+    READ_MIX,
+    READ_OPERATIONS,
     AccountsService,
     CatalogService,
     InsufficientBalance,
@@ -57,4 +59,6 @@ __all__ = [
     "OutOfStock",
     "InsufficientBalance",
     "DEFAULT_MIX",
+    "READ_MIX",
+    "READ_OPERATIONS",
 ]

@@ -29,7 +29,7 @@ timers), tagging every outcome for the SLO report.
 """
 
 from repro.orb.exceptions import ApplicationError
-from repro.orb.idl import NestedCall, Servant, operation
+from repro.orb.idl import NestedCall, OperationSemantics, Servant, operation
 from repro.state.checkpointable import Checkpointable
 from repro.workloads.generators import RequestRecord
 
@@ -100,6 +100,13 @@ class AccountsService(_LedgeredServant):
     def balance_of(self, account):
         return self.balances.get(account, 0)
 
+    @operation(semantics=OperationSemantics.READ_ONLY)
+    def get_balance(self, account):
+        """Richer read used by the read-heavy traffic mixes."""
+        return {"account": account,
+                "balance": self.balances.get(account, 0),
+                "known": account in self.balances}
+
     def get_state(self):
         return {"balances": dict(self.balances), "ledger": dict(self.ledger)}
 
@@ -140,6 +147,11 @@ class CatalogService(_LedgeredServant):
     @operation(read_only=True)
     def stock_of(self, item):
         return self.stock.get(item, 0)
+
+    @operation(semantics=OperationSemantics.READ_ONLY)
+    def browse_catalog(self):
+        """Full catalog listing (monitoring-read shape)."""
+        return dict(sorted(self.stock.items()))
 
     def get_state(self):
         return {"stock": dict(self.stock), "ledger": dict(self.ledger)}
@@ -187,6 +199,15 @@ class OrdersService(_LedgeredServant):
     def order_count(self):
         return len(self.orders)
 
+    @operation(semantics=OperationSemantics.READ_ONLY)
+    def order_status(self, op_id):
+        for order in self.orders:
+            if order[0] == op_id:
+                return {"order": op_id, "status": "placed",
+                        "item": order[2], "quantity": order[3],
+                        "cost": order[4]}
+        return {"order": op_id, "status": "unknown"}
+
     def get_state(self):
         # Canonical (sorted) form: an order's completion interleaves with
         # nested replies and remerge re-executions, so the *append order*
@@ -232,6 +253,18 @@ DEFAULT_MIX = (
     (1, "catalog", "stock_of"),
 )
 
+#: Declared-READ_ONLY operations the ``read_fraction`` knob draws from.
+READ_MIX = (
+    (2, "accounts", "get_balance"),
+    (1, "catalog", "browse_catalog"),
+    (1, "orders", "order_status"),
+)
+
+#: Operations that carry no op id (not ledger-checkable).
+READ_OPERATIONS = ("balance_of", "stock_of", "ledger_snapshot",
+                   "order_count", "get_balance", "browse_catalog",
+                   "order_status")
+
 
 class OltpTraffic:
     """Seeded open-loop traffic over the three OLTP groups.
@@ -252,12 +285,21 @@ class OltpTraffic:
         accounts / items: entity pools operations draw from.
         mix: (weight, service, operation) tuples; see :data:`DEFAULT_MIX`.
         op_prefix: namespaces op ids when several generators run at once.
+        read_fraction: when set, that fraction of arrivals draws a
+            declared READ_ONLY operation from ``read_mix`` and the rest
+            draws a *mutating* operation from ``mix`` -- the knob read-
+            heavy experiments (E13) sweep.  The extra RNG stream is only
+            consumed when the knob is set, so existing seeded schedules
+            (``read_fraction=None``) are byte-identical.
+        read_mix: (weight, service, operation) read pool; see
+            :data:`READ_MIX`.
     """
 
     def __init__(self, runtime, stubs, rate, duration,
                  accounts=("alice", "bob", "carol"),
                  items=("widget", "gadget", "gizmo"),
-                 mix=DEFAULT_MIX, op_prefix="c0"):
+                 mix=DEFAULT_MIX, op_prefix="c0",
+                 read_fraction=None, read_mix=READ_MIX):
         self.runtime = runtime
         self.stubs = dict(stubs)
         self.rate = rate
@@ -266,10 +308,15 @@ class OltpTraffic:
         self.items = tuple(items)
         self.mix = tuple(mix)
         self.op_prefix = op_prefix
+        if read_fraction is not None and not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.read_fraction = read_fraction
+        self.read_mix = tuple(read_mix)
+        self._write_mix = tuple((w, s, op) for w, s, op in self.mix
+                                if op not in READ_OPERATIONS)
         self.records = []
         self._index = 0
         self._deadline = None
-        self._total_weight = sum(weight for weight, _, _ in self.mix)
 
     # -- runtime-portable deferral --------------------------------------
 
@@ -296,14 +343,24 @@ class OltpTraffic:
 
     def _pick_operation(self):
         rng = self.runtime.rng
+        if self.read_fraction is not None:
+            side = rng.uniform("oltp.readmix." + self.op_prefix, 0.0, 1.0)
+            pool = (self.read_mix if side < self.read_fraction
+                    else self._write_mix)
+            return self._pick_from(pool)
+        return self._pick_from(self.mix)
+
+    def _pick_from(self, pool):
+        rng = self.runtime.rng
         stream = "oltp.mix." + self.op_prefix
-        draw = rng.uniform(stream, 0.0, self._total_weight)
+        total = sum(weight for weight, _, _ in pool)
+        draw = rng.uniform(stream, 0.0, total)
         cumulative = 0.0
-        for weight, service, op in self.mix:
+        for weight, service, op in pool:
             cumulative += weight
             if draw < cumulative:
                 return service, op
-        return self.mix[-1][1], self.mix[-1][2]
+        return pool[-1][1], pool[-1][2]
 
     def _build_args(self, service, op, op_id):
         rng = self.runtime.rng
@@ -315,7 +372,7 @@ class OltpTraffic:
             return (op_id, account, item, 1)
         if op in ("deposit", "debit"):
             return (op_id, account, amount)
-        if op == "balance_of":
+        if op in ("balance_of", "get_balance"):
             return (account,)
         if op == "restock":
             return (op_id, item, amount)
@@ -323,6 +380,12 @@ class OltpTraffic:
             return (op_id, item, 1)
         if op == "stock_of":
             return (item,)
+        if op == "browse_catalog":
+            return ()
+        if op == "order_status":
+            # Ask about a recently issued op id -- deterministic, no
+            # extra RNG draw (stream discipline).
+            return ("%s-%d" % (self.op_prefix, max(self._index - 8, 0)),)
         raise ValueError("unknown OLTP operation %r" % (op,))
 
     def _fire(self):
@@ -366,5 +429,5 @@ class OltpTraffic:
 
     def mutating_records(self):
         """Records whose operations carry an op id (ledger-checkable)."""
-        reads = ("balance_of", "stock_of", "ledger_snapshot", "order_count")
-        return [r for r in self.records if r.operation not in reads]
+        return [r for r in self.records
+                if r.operation not in READ_OPERATIONS]

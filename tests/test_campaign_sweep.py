@@ -1,0 +1,96 @@
+"""The 16-seed crash+partition campaign sweep, pinned as a regression test.
+
+ROADMAP's residual item tracks exactly-once violations under extreme
+churn: some seeds of the E12 campaign still lose or duplicate
+operations when a crash lands inside a remerge's fulfillment replay.
+This test pins the sweep at a reduced, tier-1-viable scale (a few
+seconds of virtual time per seed instead of E12's full campaign) so
+the failing set is tracked empirically:
+
+- passing seeds must stay green (a regression in replication,
+  remerge, or the read path shows up here first);
+- failing seeds are ``xfail(strict=True)`` — the day the
+  reconciliation fix lands, those marks fail and must be removed.
+
+The scale is pinned explicitly (not BENCH_SMOKE) so the failing set is
+stable: campaign generation derives from the spec's duration and the
+traffic from rate x duration, and both are part of the regression's
+identity.  The failing seeds at THIS scale differ from the full-scale
+E12 sweep (there, seeds 2 and 4 fail and seed 5 is impractically
+slow); same bug class, different schedules.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+import bench_e12_chaos_oltp as e12  # noqa: E402
+
+# The pinned sweep scale.  Changing any of these changes every seed's
+# fault schedule and traffic interleaving — re-sweep and update
+# FAILING_SEEDS if you touch them.
+SCALE = {
+    "RATE": 6,
+    "TRAFFIC_DURATION": 2.0,
+    "CAMPAIGN_DURATION": 2.0,
+    "SETTLE": 4.0,
+}
+
+SEEDS = range(16)
+
+# Empirically failing at the pinned scale (see module docstring).
+FAILING_SEEDS = {
+    9: "no-lost-operation: a crash lands inside the remerge's "
+       "fulfillment replay and the restock never commits (ROADMAP: "
+       "residual exactly-once violations under extreme churn)",
+}
+
+# Seeds whose schedules trigger a pathological retransmission/memory
+# blowup: seed 5 converges (ok=True) but takes ~345s of wall clock and
+# ~3 GB RSS at this scale (>15 min at full E12 scale).  Skipped, not
+# xfailed — the invariants hold; the cost does not.  Tracked in
+# ROADMAP's residual-churn item.
+SLOW_SEEDS = {
+    5: "pathological blowup: ~345s / ~3 GB RSS at the pinned scale",
+}
+
+
+@pytest.fixture()
+def pinned_scale():
+    saved = {name: getattr(e12, name) for name in SCALE}
+    for name, value in SCALE.items():
+        setattr(e12, name, value)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(e12, name, value)
+
+
+def _seed_params():
+    for seed in SEEDS:
+        if seed in SLOW_SEEDS:
+            yield pytest.param(
+                seed, marks=pytest.mark.skip(reason=SLOW_SEEDS[seed])
+            )
+        elif seed in FAILING_SEEDS:
+            yield pytest.param(
+                seed,
+                marks=pytest.mark.xfail(
+                    strict=True, reason=FAILING_SEEDS[seed]
+                ),
+            )
+        else:
+            yield pytest.param(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", _seed_params())
+def test_campaign_seed(pinned_scale, seed):
+    _campaign, report, _slo = e12.run_sim(seed=seed)
+    assert report.ok, "invariants violated: %s" % sorted(
+        {violation.invariant for violation in report.violations}
+    )

@@ -7,6 +7,7 @@ from repro.orb.exceptions import ApplicationError
 from repro.replication import GroupPolicy, ReplicationStyle
 from repro.runtime.sim import SimRuntime
 from repro.workloads import (
+    READ_OPERATIONS,
     AccountsService,
     CatalogService,
     InsufficientBalance,
@@ -180,3 +181,60 @@ def test_traffic_completes_and_filters_reads():
     assert all(r.operation not in reads for r in mutating)
     assert all(r.args[0] == r.op_id for r in mutating)
     assert len(mutating) < len(traffic.records)  # mix includes reads
+
+
+def test_declared_read_operations_are_read_only():
+    from repro.orb.idl import interface_of
+
+    assert interface_of(AccountsService).operations["get_balance"].read_only
+    assert interface_of(CatalogService).operations["browse_catalog"].read_only
+    assert interface_of(OrdersService).operations["order_status"].read_only
+    # ...and they really do not mutate.
+    accounts = AccountsService({"alice": 10})
+    before = accounts.get_state()
+    accounts.get_balance("alice")
+    accounts.get_balance("nobody")
+    assert accounts.get_state() == before
+
+
+def test_read_fraction_skews_the_mix():
+    def fraction_of_reads(read_fraction):
+        runtime = SimRuntime(seed=11)
+        stubs = {name: _RecordingStub(runtime)
+                 for name in ("accounts", "catalog", "orders")}
+        traffic = OltpTraffic(runtime, stubs, rate=60, duration=3.0,
+                              read_fraction=read_fraction)
+        traffic.start()
+        runtime.run_for(4.0)
+        reads = [r for r in traffic.records
+                 if r.operation in READ_OPERATIONS]
+        return len(reads) / len(traffic.records)
+
+    low, high = fraction_of_reads(0.1), fraction_of_reads(0.9)
+    assert low < 0.3 < 0.7 < high
+
+
+def test_read_fraction_draws_from_the_read_mix():
+    runtime = SimRuntime(seed=5)
+    stubs = {name: _RecordingStub(runtime)
+             for name in ("accounts", "catalog", "orders")}
+    traffic = OltpTraffic(runtime, stubs, rate=60, duration=3.0,
+                          read_fraction=1.0)
+    traffic.start()
+    runtime.run_for(4.0)
+    assert traffic.records
+    assert {r.operation for r in traffic.records} <= {
+        "get_balance", "browse_catalog", "order_status"}
+    assert not traffic.mutating_records()
+
+
+def test_default_mix_is_unchanged_by_the_read_knob():
+    # read_fraction=None must not consume the new RNG stream: the default
+    # schedule stays byte-identical to what pre-knob code produced.
+    baseline = _drive_traffic(seed=42)
+    again = _drive_traffic(seed=42)
+    assert [(r.op_id, r.operation, r.args) for r in baseline.records] == \
+           [(r.op_id, r.operation, r.args) for r in again.records]
+    with pytest.raises(ValueError):
+        OltpTraffic(SimRuntime(seed=0), {}, rate=1, duration=1.0,
+                    read_fraction=1.5)

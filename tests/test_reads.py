@@ -1,0 +1,395 @@
+"""The local read path: descriptors, leases, routing, and fallback.
+
+Covers the operation-semantics descriptors end to end (IDL declaration
+-> stub annotation -> server-side enforcement), leader-leased
+linearizable reads, bounded-stale backup reads, the ordered-path
+fallback discipline, and the lease-safety property across leader crashes
+and partitions.
+"""
+
+import pytest
+
+from repro.core import EternalSystem
+from repro.gateway import Gateway
+from repro.orb import ORB, ApplicationError
+from repro.orb.idl import OperationSemantics, interface_of, operation
+from repro.replication import (
+    GroupPolicy,
+    ReadConsistency,
+    ReadOptions,
+    ReplicationStyle,
+)
+from repro.replication.reads import READ_REJECTED
+from repro.workloads import AccountsService, BankAccount, Counter
+
+
+def system_up(nodes=("n1", "n2", "n3"), seed=0, **system_kw):
+    system = EternalSystem(list(nodes), seed=seed, **system_kw).start()
+    system.stabilize()
+    return system
+
+
+def leased(style=ReplicationStyle.WARM_PASSIVE, **overrides):
+    overrides.setdefault("read_leases", True)
+    overrides.setdefault("read_lease_duration", 0.4)
+    return GroupPolicy(style=style, **overrides)
+
+
+def read_events(system, category):
+    return [detail for _t, cat, detail, _s in system.telemetry.recorder.events
+            if cat == category]
+
+
+LIN = ReadOptions(mode=ReadConsistency.LINEARIZABLE)
+
+
+# ---------------------------------------------------------------------------
+# Operation-semantics descriptors
+# ---------------------------------------------------------------------------
+
+def test_descriptors_cover_every_operation():
+    info = interface_of(Counter)
+    assert info.operations["read"].semantics == OperationSemantics.READ_ONLY
+    assert info.operations["read"].read_only
+    assert info.operations["read"].idempotent  # reads default idempotent
+    assert info.operations["increment"].semantics == OperationSemantics.MUTATING
+    assert info.operations["increment"].mutating
+    assert not info.operations["increment"].idempotent
+
+
+def test_oltp_read_operations_are_declared():
+    info = interface_of(AccountsService)
+    assert info.operations["get_balance"].read_only
+    assert info.operations["balance_of"].read_only
+    assert info.operations["debit"].mutating
+
+
+def test_read_options_validate_mode():
+    with pytest.raises(ValueError):
+        ReadOptions(mode="psychic")
+    opts = ReadOptions(mode=ReadConsistency.BOUNDED_STALE, max_lag=3)
+    assert ReadOptions.from_context(opts.as_context()).max_lag == 3
+
+
+# ---------------------------------------------------------------------------
+# Linearizable leader-local reads
+# ---------------------------------------------------------------------------
+
+def test_linearizable_read_served_locally_at_leader():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine = system.engine("n1")
+    assert engine.leases.holds("ctr")
+    stub = system.stub("n1", ior, interface=Counter, read=LIN)
+    for expect in (1, 2, 3):
+        assert system.call(stub.increment(1)) == expect
+    assert system.call(stub.read()) == 3
+    assert engine.reads.served >= 1
+    assert engine.reads.fallbacks == 0
+    locals_ = read_events(system, "read.local")
+    assert any(e["mode"] == ReadConsistency.LINEARIZABLE and e["node"] == "n1"
+               for e in locals_)
+
+
+def test_linearizable_read_routes_to_leader_from_backup_node():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    stub = system.stub("n3", ior, interface=Counter, read=LIN)
+    system.call(system.stub("n3", ior, interface=Counter).increment(5))
+    assert system.call(stub.read()) == 5
+    routes = read_events(system, "read.route")
+    assert any(e["node"] == "n3" and e["target"] == "n1" for e in routes)
+    assert system.engine("n1").reads.served >= 1
+
+
+def test_mutating_operation_on_read_stub_stays_ordered():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    stub = system.stub("n1", ior, interface=Counter, read=LIN)
+    assert system.call(stub.increment(2)) == 2
+    # The write replicated: every backup applied it.
+    assert set(system.states_of("ctr").values()) == {2}
+
+
+def test_reads_leave_no_replicated_trace():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    stub = system.stub("n1", ior, interface=Counter, read=LIN)
+    system.call(stub.increment(1))
+    replicas = system.replicas_of("ctr")
+    applied = {n: r.ops_applied for n, r in replicas.items()}
+    for _ in range(5):
+        assert system.call(stub.read()) == 1
+    assert {n: r.ops_applied for n, r in replicas.items()} == applied
+
+
+def test_active_style_linearizable_reads_fall_back():
+    # ACTIVE replies can come from any replica, so a leader lease does
+    # not make a local read linearizable; the style is refused.
+    system = system_up()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        leased(style=ReplicationStyle.ACTIVE))
+    system.run_for(1.5)
+    stub = system.stub("n1", ior, interface=Counter, read=LIN)
+    system.call(stub.increment(1))
+    assert system.call(stub.read()) == 1
+    engine = system.engine("n1")
+    assert engine.reads.fallbacks >= 1
+    assert any(e["reason"] == "style"
+               for e in read_events(system, "read.fallback"))
+
+
+def test_leases_disabled_falls_back_to_ordered():
+    system = system_up()
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE))  # read_leases off
+    system.run_for(1.5)
+    engine = system.engine("n1")
+    assert not engine.leases.holds("ctr")
+    stub = system.stub("n1", ior, interface=Counter, read=LIN)
+    system.call(stub.increment(1))
+    assert system.call(stub.read()) == 1
+    assert engine.reads.fallbacks >= 1
+
+
+def test_server_refuses_undeclared_read():
+    # A client annotating a mutating op (dynamic stub without interface
+    # knowledge) must not bypass ordering: the server-side interface
+    # check rejects and the call completes on the ordered path.
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    stub = system.stub("n1", ior, read=LIN)  # untyped: annotates everything
+    assert system.call(stub.increment(3)) == 3
+    assert set(system.states_of("ctr").values()) == {3}
+    assert any(e["reason"] == "not-read-only"
+               for e in read_events(system, "read.reject"))
+
+
+def test_servant_exceptions_propagate_without_fallback():
+    system = system_up()
+    ior = system.create_replicated(
+        "acct", lambda: BankAccount("a", 5), ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine = system.engine("n1")
+    stub = system.stub("n1", ior, interface=BankAccount, read=LIN)
+    assert system.call(stub.get_balance()) == 5
+    # A servant ApplicationError from the local path is a real result,
+    # not a reason to retry on the ordered path.
+
+    class Grumpy(BankAccount):
+        @operation(read_only=True)
+        def peek(self):
+            raise ApplicationError("Grumpy", "no peeking")
+
+    ior2 = system.create_replicated(
+        "grump", lambda: Grumpy("g", 1), ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    stub2 = system.stub("n1", ior2, interface=Grumpy, read=LIN)
+    with pytest.raises(ApplicationError) as excinfo:
+        system.call(stub2.peek())
+    assert excinfo.value.exc_type == "Grumpy"
+    assert engine.reads.fallbacks == 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded-stale backup reads
+# ---------------------------------------------------------------------------
+
+def test_bounded_stale_read_served_by_local_backup():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    system.call(system.stub("n1", ior, interface=Counter).increment(7))
+    system.run_for(1.0)  # let the position beacon catch up
+    stub = system.stub("n3", ior, interface=Counter,
+                       read=ReadOptions(mode=ReadConsistency.BOUNDED_STALE,
+                                        max_lag=2))
+    assert system.call(stub.read()) == 7
+    assert system.engine("n3").reads.served >= 1
+    locals_ = read_events(system, "read.local")
+    assert any(e["node"] == "n3" and e["mode"] == ReadConsistency.BOUNDED_STALE
+               for e in locals_)
+
+
+def test_bounded_stale_rejects_beyond_lag_bound():
+    system = system_up()
+    system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine = system.engine("n3")
+    # Fake a beacon far ahead of what n3 has applied.
+    engine.leases.note_position("ctr", 10)
+    with pytest.raises(ApplicationError) as excinfo:
+        engine.reads.serve("ctr", "read", (), ReadConsistency.BOUNDED_STALE, 2)
+    assert excinfo.value.exc_type == READ_REJECTED
+    assert "stale" in str(excinfo.value.detail)
+
+
+def test_bounded_stale_rejects_expired_beacon():
+    system = system_up()
+    system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine = system.engine("n3")
+    engine.leases.note_position("ctr", 0)
+    system.run_for(1.0)  # crash nothing; just age the injected beacon
+    engine.leases.positions["ctr"] = (0, system.runtime.now - 5.0)
+    with pytest.raises(ApplicationError) as excinfo:
+        engine.reads.serve("ctr", "read", (), ReadConsistency.BOUNDED_STALE, 99)
+    assert "position-expired" in str(excinfo.value.detail)
+
+
+def test_bounded_stale_primary_always_serves():
+    system = system_up()
+    system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine = system.engine("n1")
+    future = engine.reads.serve("ctr", "read", (),
+                                ReadConsistency.BOUNDED_STALE, 0)
+    assert system.runtime.wait_for(future, timeout=1.0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Lease safety
+# ---------------------------------------------------------------------------
+
+def test_lease_safety_new_leader_waits_out_old_grants():
+    system = system_up()
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    assert system.engine("n1").leases.holds("ctr")
+    system.crash("n1")
+    system.stabilize()
+    engine2 = system.engine("n2")
+    assert system.replicas_of("ctr")["n2"].is_primary
+    # Immediately after failover the new primary has not collected fresh
+    # grants from every backup; linearizable reads must fall back.
+    assert not engine2.leases.holds("ctr")
+    stub = system.stub("n2", ior, interface=Counter, read=LIN)
+    assert system.call(stub.read()) == 0
+    assert engine2.reads.fallbacks >= 1
+    # Once renewals run for a lease window, the new leader serves.
+    system.run_for(2.0)
+    assert engine2.leases.holds("ctr")
+    served_before = engine2.reads.served
+    assert system.call(stub.read()) == 0
+    assert engine2.reads.served == served_before + 1
+
+
+def test_partitioned_leader_cannot_hold_lease():
+    system = system_up()
+    system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    engine1 = system.engine("n1")
+    assert engine1.leases.holds("ctr")
+    system.partition([["n1"], ["n2", "n3"]])
+    system.stabilize()
+    system.run_for(1.5)
+    # Alone in its component, the deposed leader's membership no longer
+    # meets the minimum; it must refuse linearizable reads rather than
+    # serve what may now be stale state.
+    assert not engine1.leases.holds("ctr")
+    with pytest.raises(ApplicationError) as excinfo:
+        engine1.reads.serve("ctr", "read", (), ReadConsistency.LINEARIZABLE, 0)
+    assert excinfo.value.exc_type == READ_REJECTED
+    system.merge()
+    system.stabilize()
+
+
+def test_granter_blackout_after_recovery():
+    system = system_up()
+    system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    system.crash("n3")
+    system.run_for(0.2)
+    system.recover("n3")
+    system.stabilize()
+    engine3 = system.engine("n3")
+    grantor = engine3.orb.poa._servants.get("ft/lease")
+    assert grantor is not None
+    # A freshly recovered granter forgot its promises; it must refuse
+    # grants for one lease window so no old holder is double-promised.
+    result = grantor.grant_read_lease("ctr", "nX", 0.4, 0)
+    assert result[0] == "denied"
+
+
+# ---------------------------------------------------------------------------
+# Gateway routing for external clients
+# ---------------------------------------------------------------------------
+
+def test_gateway_routes_external_annotated_reads():
+    system = system_up(nodes=("n1", "n2", "n3", "gw"))
+    ior = system.create_replicated("ctr", Counter, ["n1", "n2", "n3"], leased())
+    system.run_for(1.5)
+    gateway = Gateway(system.engine("gw"))
+    exported = gateway.export(ior)
+    outside = ORB(system.net, system.net.add_node("outside"))
+    stub = outside.stub(exported, interface=Counter, read=LIN)
+    system.call(outside.stub(exported, interface=Counter).increment(4))
+    assert system.call(stub.read()) == 4
+    # The annotation crossed the wire: the gateway's engine routed the
+    # read to the leaseholder instead of multicasting it.
+    assert system.engine("n1").reads.served >= 1
+    routes = read_events(system, "read.route")
+    assert any(e["node"] == "gw" and e["target"] == "n1" for e in routes)
+
+
+def test_gateway_read_falls_back_when_leases_disabled():
+    system = system_up(nodes=("n1", "n2", "n3", "gw"))
+    ior = system.create_replicated(
+        "ctr", Counter, ["n1", "n2", "n3"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE))
+    system.run_for(1.0)
+    gateway = Gateway(system.engine("gw"))
+    exported = gateway.export(ior)
+    outside = ORB(system.net, system.net.add_node("outside"))
+    stub = outside.stub(exported, interface=Counter, read=LIN)
+    system.call(outside.stub(exported, interface=Counter).increment(2))
+    assert system.call(stub.read()) == 2
+    assert system.engine("gw").reads.fallbacks >= 1
+
+
+# ---------------------------------------------------------------------------
+# Spare placement (ring-aware)
+# ---------------------------------------------------------------------------
+
+def test_spare_placement_prefers_home_ring_natives():
+    # Ring 0: n1, n2, s_native, s_cross; ring 1: n3, s_cross.  The
+    # cross-ring spare is registered first but the ring-0-native spare
+    # must win placement for a ring-0 group.
+    system = system_up(
+        nodes=("n1", "n2", "n3", "s_cross", "s_native"),
+        rings={0: ["n1", "n2", "s_cross", "s_native"],
+               1: ["n3", "s_cross"]},
+    )
+    system.create_replicated(
+        "ctr", Counter, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE, min_replicas=2),
+        ring=0)
+    system.run_for(0.5)
+    system.manager.register_spare("s_cross")
+    system.manager.register_spare("s_native")
+    placements = system.manager.handle_fault("n2")
+    assert placements == [("ctr", "s_native")]
+
+
+def test_spare_placement_falls_back_to_least_loaded():
+    system = system_up(nodes=("n1", "n2", "s1", "s2"))
+    system.create_replicated(
+        "a", Counter, ["n1", "n2"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE, min_replicas=2))
+    system.create_replicated(
+        "b", Counter, ["n1", "s1"],
+        GroupPolicy(style=ReplicationStyle.WARM_PASSIVE, min_replicas=1))
+    system.run_for(0.5)
+    system.manager.register_spare("s1")
+    system.manager.register_spare("s2")
+    # Both spares are ring-native; s1 already hosts a replica of "b", so
+    # the less-loaded s2 takes the restored member of "a".
+    placements = system.manager.handle_fault("n2")
+    assert placements == [("a", "s2")]
