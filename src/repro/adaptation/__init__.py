@@ -1,0 +1,30 @@
+"""Adaptive fault tolerance: retune replication to the measured world.
+
+FT-CORBA fixes replication style, degree, and checkpoint cadence at
+deployment time; the paper's lesson is that those choices then fight the
+actual fault environment.  This package closes the loop:
+
+- :class:`SloTarget` / :class:`AdaptationPolicy` -- declare what the
+  operator wants and how far the controller may go.
+- :class:`EvidenceWindow` -- windowed readings of live telemetry
+  (heartbeat RTT percentiles, crash rates, measured failover durations,
+  workload availability).
+- :class:`AdaptationController` -- the evaluate-and-actuate loop, with
+  hysteresis, driving style switches, degree changes, and cadence
+  retunes through the existing management plane.
+
+Entirely opt-in: without a controller attached, every default path is
+byte-identical to a build without this package.
+"""
+
+from repro.adaptation.controller import AdaptationAction, AdaptationController
+from repro.adaptation.evidence import EvidenceWindow
+from repro.adaptation.policy import AdaptationPolicy, SloTarget
+
+__all__ = [
+    "AdaptationAction",
+    "AdaptationController",
+    "AdaptationPolicy",
+    "EvidenceWindow",
+    "SloTarget",
+]

@@ -1,0 +1,322 @@
+"""The adaptation controller: telemetry in, management actions out.
+
+Closes the loop the paper leaves open: replication style, degree, and
+checkpoint cadence are deployment-time choices in FT-CORBA, but the
+fault environment they were chosen for is not the one the system meets.
+The controller periodically evaluates each governed group's
+:class:`~repro.adaptation.policy.AdaptationPolicy` against its
+:class:`~repro.adaptation.evidence.EvidenceWindow` and actuates through
+machinery that already exists:
+
+- style switches ride the live-upgrade coordinator's totally-ordered
+  policy envelope (``LiveUpgradeCoordinator.switch_style``),
+- degree changes ride the manager's ring-aware spare placement
+  (``grow_degree`` / ``shrink_degree``),
+- cadence retunes ride the same policy envelope
+  (``LiveUpgradeCoordinator.retune``).
+
+Every decision -- taken or suppressed by hysteresis -- emits a
+registered ``adapt.*`` event carrying the evidence that triggered it and
+the cool-down state that allowed (or blocked) it.  The controller is
+strictly opt-in: nothing constructs one unless the operator attaches
+policies, and a run without one is byte-identical to a run before this
+module existed.
+"""
+
+from repro.adaptation.evidence import EvidenceWindow
+from repro.adaptation.policy import AdaptationPolicy  # noqa: F401 (re-export)
+from repro.replication.styles import ReplicationStyle
+from repro.upgrade.coordinator import LiveUpgradeCoordinator
+
+
+class AdaptationAction:
+    """One decision the controller actually took."""
+
+    __slots__ = ("time", "group", "lever", "action", "evidence", "cooldown")
+
+    def __init__(self, time, group, lever, action, evidence, cooldown):
+        self.time = time
+        self.group = group
+        self.lever = lever          # "style" | "degree" | "cadence"
+        self.action = action        # e.g. "active", "grow:spare1", "interval:12"
+        self.evidence = evidence
+        self.cooldown = cooldown
+
+    def summary(self):
+        return {"time": self.time, "group": self.group, "lever": self.lever,
+                "action": self.action, "evidence": self.evidence,
+                "cooldown": self.cooldown}
+
+    def __repr__(self):
+        return "AdaptationAction(t=%.3f %s %s %s)" % (
+            self.time, self.group, self.lever, self.action,
+        )
+
+
+class _GroupState:
+    """Controller-side hysteresis and sampling state for one group."""
+
+    __slots__ = ("last_action_at", "style_entered_at",
+                 "last_ops", "last_ops_at", "update_rate")
+
+    def __init__(self, now):
+        self.last_action_at = None
+        self.style_entered_at = now
+        self.last_ops = None
+        self.last_ops_at = None
+        self.update_rate = 0.0
+
+
+class AdaptationController:
+    """Periodic evaluate-and-actuate loop over the governed groups.
+
+    Args:
+        system: the :class:`~repro.core.EternalSystem` whose manager and
+            runtime carry the governed groups.
+        policies: ``{group: AdaptationPolicy}``.
+        coordinator: optional shared
+            :class:`~repro.upgrade.LiveUpgradeCoordinator`; one is
+            created when absent.
+        interval: evaluation period, seconds.
+
+    The tick runs from a runtime timer callback and must never drive the
+    runtime itself; every actuator it calls is non-blocking (the policy
+    envelope and state transfers complete as the runtime runs on).
+    At most one action is taken per group per tick, and
+    ``cooldown_seconds`` then gates the next -- a fault burst produces
+    one decision, not a volley.
+    """
+
+    def __init__(self, system, policies, coordinator=None, interval=0.5):
+        self.system = system
+        self.runtime = system.runtime
+        self.manager = system.manager
+        self.coordinator = (coordinator if coordinator is not None
+                            else LiveUpgradeCoordinator(self.manager))
+        self.policies = dict(policies)
+        self.interval = interval
+        self.evidence = {
+            group: EvidenceWindow(self.runtime, policy.window_seconds)
+            for group, policy in self.policies.items()
+        }
+        self.actions = []
+        self.running = False
+        self._state = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        if self.running:
+            return self
+        self.running = True
+        now = self.runtime.now
+        for group in self.policies:
+            self._state[group] = _GroupState(now)
+        self.runtime.emit("adapt.start",
+                          {"groups": sorted(self.policies),
+                           "interval": self.interval})
+        self._defer(self.interval, self._tick)
+        return self
+
+    def stop(self):
+        if self.running:
+            self.running = False
+            for window in self.evidence.values():
+                window.close()
+            self.runtime.emit("adapt.stop", {})
+
+    def actions_summary(self):
+        """JSON-friendly action log for the SLO report."""
+        return [action.summary() for action in self.actions]
+
+    # ------------------------------------------------------------------
+    # The tick
+    # ------------------------------------------------------------------
+
+    def _defer(self, delay, callback):
+        sim = getattr(self.runtime, "sim", None)
+        if sim is not None:
+            sim.schedule(delay, callback, "adapt.tick")
+        else:
+            self.runtime.loop.call_later(max(delay, 0.0), callback)
+
+    def _tick(self):
+        if not self.running:
+            return
+        for group in sorted(self.policies):
+            record = self.manager.records.get(group)
+            if record is None:
+                continue
+            try:
+                self._evaluate(group, self.policies[group], record)
+            except Exception as error:  # keep the loop alive; attribute it
+                self.runtime.emit("adapt.error",
+                                  {"group": group, "lever": "tick",
+                                   "error": repr(error)})
+        self._defer(self.interval, self._tick)
+
+    def _evaluate(self, group, policy, record):
+        now = self.runtime.now
+        state = self._state[group]
+        self._sample_update_rate(group, record, state, now)
+        evidence = self.evidence[group].snapshot(now, group=group)
+        evidence["update_rate"] = round(state.update_rate, 6)
+        decision = (self._decide_style(group, policy, record, evidence)
+                    or self._decide_degree(group, policy, record, evidence)
+                    or self._decide_cadence(group, policy, record,
+                                            evidence, state))
+        if decision is None:
+            return
+        lever, action, needs_dwell, actuate = decision
+        cooldown = self._cooldown_state(policy, state, now,
+                                        needs_dwell=needs_dwell)
+        if cooldown["blocked"]:
+            self.runtime.emit("adapt.suppressed",
+                              {"group": group, "lever": lever,
+                               "action": action,
+                               "reason": cooldown["blocked"],
+                               "evidence": evidence})
+            return
+        try:
+            outcome = actuate()
+        except Exception as error:
+            self.runtime.emit("adapt.error", {"group": group, "lever": lever,
+                                              "error": repr(error)})
+            return
+        if outcome is None:
+            # The actuator had nothing to do (e.g. no eligible spare);
+            # not an action, so the cool-down clock is left untouched.
+            self.runtime.emit("adapt.suppressed",
+                              {"group": group, "lever": lever,
+                               "action": action, "reason": "unactionable",
+                               "evidence": evidence})
+            return
+        action = "%s:%s" % (action, outcome) if outcome is not True else action
+        state.last_action_at = now
+        if lever == "style":
+            state.style_entered_at = now
+        taken = AdaptationAction(now, group, lever, action, evidence, cooldown)
+        self.actions.append(taken)
+        self.runtime.emit("adapt.action",
+                          {"group": group, "lever": lever, "action": action,
+                           "evidence": evidence, "cooldown": cooldown})
+
+    # ------------------------------------------------------------------
+    # Decisions (each returns (lever, action, needs_dwell, actuate) or None)
+    # ------------------------------------------------------------------
+
+    def _breaches(self, policy, evidence):
+        """SLO/threshold breaches named by the evidence that shows them."""
+        breaches = []
+        slo = policy.slo
+        failover = evidence["failover"]
+        if (slo.max_failover_seconds is not None and failover["count"]
+                and failover["max"] > slo.max_failover_seconds):
+            breaches.append("failover")
+        availability = evidence["availability"]["availability"]
+        if (slo.availability_floor is not None and availability is not None
+                and availability < slo.availability_floor):
+            breaches.append("availability")
+        if evidence["crashes"] >= policy.crashes_high:
+            breaches.append("crashes")
+        return breaches
+
+    def _decide_style(self, group, policy, record, evidence):
+        current = record.policy.style
+        breaches = self._breaches(policy, evidence)
+        evidence["breaches"] = breaches
+        if breaches and current != policy.escalate_style:
+            # Escalation is the protective direction: only the cool-down
+            # gates it.  Dwell gates the relax, where leaving too early
+            # is what causes style flapping.
+            style = policy.escalate_style
+            return ("style", style, False,
+                    lambda: bool(self.coordinator.switch_style(group, style)))
+        if (not breaches and evidence["crashes"] <= policy.crashes_low
+                and current != policy.relax_style
+                and current == policy.escalate_style):
+            style = policy.relax_style
+            return ("style", style, True,
+                    lambda: bool(self.coordinator.switch_style(group, style)))
+        return None
+
+    def _decide_degree(self, group, policy, record, evidence):
+        degree = len(record.locations)
+        hostile = evidence["crashes"] >= policy.crashes_high
+        quiet = (evidence["crashes"] <= policy.crashes_low
+                 and not evidence.get("breaches"))
+        if (hostile and policy.max_degree is not None
+                and degree < policy.max_degree):
+            return ("degree", "grow", False,
+                    lambda: self.manager.grow_degree(group))
+        if (quiet and policy.min_degree is not None
+                and degree > policy.min_degree):
+            floor = policy.min_degree
+            return ("degree", "shrink", False,
+                    lambda: self.manager.shrink_degree(group, floor=floor))
+        return None
+
+    def _decide_cadence(self, group, policy, record, evidence, state):
+        if policy.checkpoint_horizon_seconds is None:
+            return None
+        if record.policy.style != ReplicationStyle.COLD_PASSIVE:
+            return None  # only the checkpointing style reads the interval
+        rate = state.update_rate
+        if rate <= 0:
+            return None
+        lo, hi = policy.checkpoint_bounds
+        desired = max(lo, min(hi, int(round(
+            rate * policy.checkpoint_horizon_seconds)) or lo))
+        current = record.policy.checkpoint_interval_ops
+        if abs(desired - current) < policy.cadence_deadband * current:
+            return None
+        return ("cadence", "interval:%d" % desired, False,
+                lambda: bool(self.coordinator.retune(
+                    group, checkpoint_interval_ops=desired)))
+
+    # ------------------------------------------------------------------
+    # Hysteresis
+    # ------------------------------------------------------------------
+
+    def _cooldown_state(self, policy, state, now, needs_dwell):
+        """Why an action may not run yet, plus the clocks that say so."""
+        blocked = None
+        since_action = (None if state.last_action_at is None
+                        else now - state.last_action_at)
+        dwell = now - state.style_entered_at
+        if (since_action is not None
+                and since_action < policy.cooldown_seconds):
+            blocked = "cooldown"
+        elif needs_dwell and dwell < policy.min_dwell_seconds:
+            blocked = "dwell"
+        return {
+            "blocked": blocked,
+            "since_last_action": (None if since_action is None
+                                  else round(since_action, 6)),
+            "cooldown_seconds": policy.cooldown_seconds,
+            "dwell": round(dwell, 6),
+            "min_dwell_seconds": policy.min_dwell_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _sample_update_rate(self, group, record, state, now):
+        """Differentiate the group's applied-operation count over ticks."""
+        ops = None
+        for node in record.locations:
+            engine = self.manager.engines.get(node)
+            replica = engine.replicas.get(group) if engine else None
+            if replica is not None and engine.ep.alive:
+                applied = replica.ops_applied
+                ops = applied if ops is None else max(ops, applied)
+        if ops is None:
+            return
+        if state.last_ops is not None and now > state.last_ops_at:
+            state.update_rate = ((ops - state.last_ops)
+                                 / (now - state.last_ops_at))
+        state.last_ops = ops
+        state.last_ops_at = now

@@ -1,0 +1,120 @@
+"""Evidence windows: recent behavior read out of live telemetry.
+
+Everything the controller decides on comes through here, so every
+decision is attributable to concrete, recorded measurements: windowed
+heartbeat RTT percentiles, crash/recovery counts and measured failover
+durations from the flight recorder, windowed workload availability, and
+the per-group update rate the controller samples between ticks.  The
+readers only *read* -- no telemetry is emitted and no state outside the
+returned dicts is touched, so attaching a reader to a run changes
+nothing about it.
+"""
+
+from collections import deque
+
+from repro.chaos.slo import failover_breakdown
+
+#: Workload events counted toward windowed availability.  Rejections are
+#: answered requests (the service said no, correctly), matching the SLO
+#: report's availability definition.
+_ANSWERED = ("oltp.reply", "oltp.rejected")
+_FAILED = ("oltp.failed",)
+
+#: Categories the window keeps its own copy of.  The flight recorder's
+#: ring is shared with *every* emit in the system (totem token traffic
+#: floods it in milliseconds), so the reader taps the trace log directly
+#: and retains only what its readings consume.
+_WATCHED = frozenset(
+    ("node.crash", "node.recover", "ft.view") + _ANSWERED + _FAILED
+)
+
+
+class EvidenceWindow:
+    """Windowed views over one runtime's telemetry.
+
+    Registers a read-only sink on the runtime's trace log and buffers
+    the last ``capacity`` watched events; ``window_seconds`` bounds every
+    reading to recent behavior.  Call :meth:`close` to detach the sink.
+    """
+
+    def __init__(self, runtime, window_seconds, capacity=4096):
+        self.runtime = runtime
+        self.window_seconds = window_seconds
+        self._events = deque(maxlen=capacity)
+        runtime.trace.add_sink(self._observe)
+
+    def _observe(self, time, category, detail, size):
+        if category in _WATCHED:
+            self._events.append((time, category, detail or {}, size))
+
+    def close(self):
+        """Detach from the trace log (idempotent)."""
+        try:
+            self.runtime.trace.remove_sink(self._observe)
+        except ValueError:
+            pass
+
+    # -- raw sources ----------------------------------------------------
+
+    def _recent_events(self, now):
+        floor = now - self.window_seconds
+        return [event for event in self._events
+                if floor <= event[0] <= now]
+
+    # -- readings -------------------------------------------------------
+
+    def rtt(self, now):
+        """Windowed heartbeat round-trip stats ({"count": 0} when idle)."""
+        metric = self.runtime.telemetry.metrics.get("ftdet.rtt")
+        if metric is None:
+            return {"count": 0}
+        return metric.window(now, self.window_seconds)
+
+    def fault_counts(self, now, events=None):
+        """Crashes and recoveries observed inside the window."""
+        events = self._recent_events(now) if events is None else events
+        crashes = sum(1 for e in events if e[1] == "node.crash")
+        recoveries = sum(1 for e in events if e[1] == "node.recover")
+        return {"crashes": crashes, "recoveries": recoveries}
+
+    def failovers(self, now, group=None, events=None):
+        """Measured failover durations that completed inside the window.
+
+        Derived from ``node.crash`` -> ``ft.view`` pairing (see
+        :func:`~repro.chaos.slo.failover_breakdown`) over the windowed
+        events; restricted to ``group`` when given.
+        """
+        events = self._recent_events(now) if events is None else events
+        breakdown = failover_breakdown(events)
+        if group is not None:
+            return {group: breakdown.get(group, [])}
+        return breakdown
+
+    def availability(self, now, events=None):
+        """Windowed workload availability (None with no traffic)."""
+        events = self._recent_events(now) if events is None else events
+        answered = sum(1 for e in events if e[1] in _ANSWERED)
+        failed = sum(1 for e in events if e[1] in _FAILED)
+        total = answered + failed
+        return {
+            "answered": answered,
+            "failed": failed,
+            "availability": (answered / total) if total else None,
+        }
+
+    def snapshot(self, now, group=None):
+        """One JSON-friendly evidence dict for a decision record."""
+        events = self._recent_events(now)
+        failovers = self.failovers(now, group=group, events=events)
+        durations = [d for samples in failovers.values() for d in samples]
+        evidence = {
+            "window": self.window_seconds,
+            "rtt": self.rtt(now),
+            "failover": {
+                "count": len(durations),
+                "max": max(durations) if durations else None,
+            },
+            "availability": self.availability(now, events=events),
+        }
+        evidence.update(self.fault_counts(now, events=events))
+        return evidence

@@ -1,0 +1,115 @@
+"""Declarative adaptation policy: SLO targets, thresholds, hysteresis.
+
+A policy says *what the operator wants* (failover under X seconds,
+availability above Y) and *how aggressively the controller may act*
+(which styles to move between, how far degree may stretch, how long to
+dwell before reversing a decision).  The controller in
+:mod:`repro.adaptation.controller` evaluates these rules against the
+evidence windows and actuates through the existing management plane.
+"""
+
+from repro.replication.styles import ReplicationStyle
+
+
+class SloTarget:
+    """Per-group service-level objectives the controller defends.
+
+    Either target may be ``None`` (not enforced).  ``availability_floor``
+    is a fraction of answered requests over the evidence window;
+    application-level rejections count as answered, matching the SLO
+    report's availability definition.
+    """
+
+    __slots__ = ("max_failover_seconds", "availability_floor")
+
+    def __init__(self, max_failover_seconds=None, availability_floor=None):
+        if max_failover_seconds is not None and max_failover_seconds <= 0:
+            raise ValueError("max_failover_seconds must be positive")
+        if availability_floor is not None and not 0.0 < availability_floor <= 1.0:
+            raise ValueError("availability_floor must be in (0, 1]")
+        self.max_failover_seconds = max_failover_seconds
+        self.availability_floor = availability_floor
+
+    def __repr__(self):
+        return "SloTarget(failover<=%s, availability>=%s)" % (
+            self.max_failover_seconds, self.availability_floor,
+        )
+
+
+class AdaptationPolicy:
+    """Rules for one group: thresholds, levers, and hysteresis.
+
+    Levers (each individually optional):
+
+    - **style**: when the SLO is breached or the environment turns
+      hostile (``crashes_high`` crashes inside the window), escalate to
+      ``escalate_style``; when quiet again (``crashes_low`` or fewer and
+      no breach), relax back to ``relax_style``.  Passive replication is
+      cheaper but fails over by re-execution; active replication masks
+      faults at the cost of redundant execution -- the controller buys
+      masking only while the measured environment demands it.
+    - **degree**: grow toward ``max_degree`` while hostile, shrink back
+      toward ``min_degree`` when quiet.  ``None`` disables the lever in
+      that direction.
+    - **cadence**: for checkpointing styles, retune
+      ``checkpoint_interval_ops`` so roughly
+      ``checkpoint_horizon_seconds`` of observed updates sit between
+      checkpoints, clamped to ``checkpoint_bounds``.  ``None`` disables.
+
+    Hysteresis: ``cooldown_seconds`` is the minimum gap between any two
+    actions on the group; ``min_dwell_seconds`` is the minimum time in a
+    style before *relaxing* away from it (escalation, the protective
+    direction, is gated by the cool-down alone).  Both damp a single
+    fault burst into at most one decision.
+    """
+
+    __slots__ = (
+        "slo", "window_seconds",
+        "escalate_style", "relax_style", "crashes_high", "crashes_low",
+        "max_degree", "min_degree",
+        "checkpoint_horizon_seconds", "checkpoint_bounds", "cadence_deadband",
+        "cooldown_seconds", "min_dwell_seconds",
+    )
+
+    def __init__(self, slo=None, window_seconds=2.0,
+                 escalate_style=ReplicationStyle.ACTIVE,
+                 relax_style=ReplicationStyle.WARM_PASSIVE,
+                 crashes_high=2, crashes_low=0,
+                 max_degree=None, min_degree=None,
+                 checkpoint_horizon_seconds=None,
+                 checkpoint_bounds=(5, 500), cadence_deadband=0.5,
+                 cooldown_seconds=1.0, min_dwell_seconds=2.0):
+        self.slo = slo if slo is not None else SloTarget()
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        ReplicationStyle.validate(escalate_style)
+        ReplicationStyle.validate(relax_style)
+        if escalate_style == relax_style:
+            raise ValueError("escalate and relax styles must differ")
+        if crashes_low >= crashes_high:
+            raise ValueError("crashes_low must be below crashes_high")
+        if (max_degree is not None and min_degree is not None
+                and min_degree > max_degree):
+            raise ValueError("min_degree exceeds max_degree")
+        lo, hi = checkpoint_bounds
+        if not 1 <= lo <= hi:
+            raise ValueError("checkpoint_bounds must be 1 <= lo <= hi")
+        if cooldown_seconds < 0 or min_dwell_seconds < 0:
+            raise ValueError("hysteresis durations must be non-negative")
+        self.window_seconds = window_seconds
+        self.escalate_style = escalate_style
+        self.relax_style = relax_style
+        self.crashes_high = crashes_high
+        self.crashes_low = crashes_low
+        self.max_degree = max_degree
+        self.min_degree = min_degree
+        self.checkpoint_horizon_seconds = checkpoint_horizon_seconds
+        self.checkpoint_bounds = (lo, hi)
+        self.cadence_deadband = cadence_deadband
+        self.cooldown_seconds = cooldown_seconds
+        self.min_dwell_seconds = min_dwell_seconds
+
+    def __repr__(self):
+        return "AdaptationPolicy(%s<->%s, window=%.2fs)" % (
+            self.relax_style, self.escalate_style, self.window_seconds,
+        )

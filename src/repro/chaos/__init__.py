@@ -23,7 +23,11 @@ from repro.chaos.campaign import (
 )
 from repro.chaos.injectors import ProcessInjector, SimInjector
 from repro.chaos.invariants import InvariantChecker, InvariantReport, Violation
-from repro.chaos.slo import build_slo_report, format_slo_report
+from repro.chaos.slo import (
+    build_slo_report,
+    failover_breakdown,
+    format_slo_report,
+)
 
 __all__ = [
     "SIM_CAPABILITIES",
@@ -36,5 +40,6 @@ __all__ = [
     "InvariantReport",
     "Violation",
     "build_slo_report",
+    "failover_breakdown",
     "format_slo_report",
 ]

@@ -29,8 +29,42 @@ def _latency_stats(latencies):
     }
 
 
+def failover_breakdown(events):
+    """Per-group failover durations from flight-recorder events.
+
+    ``events`` are ``(time, category, detail, size)`` tuples (the shape
+    the benchmarks build from trace records).  A failover opens when a
+    ``node.crash`` names a member of a group's last announced ``ft.view``
+    and closes at the first subsequent view for that group that excludes
+    the crashed node -- the moment the survivors reconfigured around the
+    loss.  An open failover is cancelled if the node reappears in a view
+    first (it recovered before the group ever reconfigured).  Returns
+    ``{group: [duration, ...]}`` in event order.
+    """
+    members = {}
+    open_failovers = {}
+    durations = {}
+    for time, category, detail, _size in sorted(events, key=lambda e: e[0]):
+        if category == "ft.view":
+            group = detail.get("group")
+            view = set(detail.get("members") or ())
+            for node, started in open_failovers.pop(group, ()):
+                if node not in view:
+                    durations.setdefault(group, []).append(time - started)
+                # else: the node rejoined before any reconfiguration --
+                # nothing failed over, so the entry is dropped.
+            members[group] = view
+        elif category == "node.crash":
+            node = detail.get("node")
+            for group, view in members.items():
+                if node in view:
+                    open_failovers.setdefault(group, []).append((node, time))
+    return durations
+
+
 def build_slo_report(records, failover_durations=(), campaign=None,
-                     invariants=None):
+                     invariants=None, failover_by_group=None,
+                     adaptation_actions=None):
     """Assemble the post-campaign SLO report.
 
     Args:
@@ -41,6 +75,11 @@ def build_slo_report(records, failover_durations=(), campaign=None,
         campaign: optional :class:`~repro.chaos.campaign.ChaosCampaign`
             whose :meth:`summary` is embedded.
         invariants: optional :class:`~repro.chaos.invariants.InvariantReport`.
+        failover_by_group: optional ``{group: [durations]}`` (see
+            :func:`failover_breakdown`) rendered as per-group stats.
+        adaptation_actions: optional list of adaptation-decision dicts
+            (see ``AdaptationController.actions_summary``) embedded so
+            the report shows what the controller did and when.
     """
     records = list(records)
     ok = [r for r in records if r.ok]
@@ -73,6 +112,13 @@ def build_slo_report(records, failover_durations=(), campaign=None,
         }
         for service, group in sorted(by_service.items())
     }
+    if failover_by_group is not None:
+        report["failover_by_group"] = {
+            group: _latency_stats(list(durations))
+            for group, durations in sorted(failover_by_group.items())
+        }
+    if adaptation_actions is not None:
+        report["adaptation_actions"] = list(adaptation_actions)
     if campaign is not None:
         report["campaign"] = campaign.summary()
     if invariants is not None:
@@ -98,6 +144,17 @@ def format_slo_report(report):
     if failover["count"]:
         lines.append("  failover: n=%d mean=%.4fs max=%.4fs" % (
             failover["count"], failover["mean"], failover["max"]))
+    for group, stats in sorted(report.get("failover_by_group", {}).items()):
+        if stats["count"]:
+            lines.append("    %s: n=%d mean=%.4fs max=%.4fs" % (
+                group, stats["count"], stats["mean"], stats["max"]))
+    actions = report.get("adaptation_actions")
+    if actions is not None:
+        lines.append("  adaptation: %d actions" % len(actions))
+        for action in actions:
+            lines.append("    t=%.3f %s %s %s" % (
+                action.get("time", -1.0), action.get("group", "?"),
+                action.get("lever", "?"), action.get("action", "?")))
     if "invariants" in report:
         inv = report["invariants"]
         lines.append("  invariants: %s (%d violations)" % (

@@ -155,7 +155,7 @@ class HeartbeatFaultDetector:
                 telemetry = getattr(self.ep, "telemetry", None)
                 if telemetry is not None:
                     telemetry.metrics.histogram("ftdet.rtt").record(
-                        self.ep.now - sent)
+                        self.ep.now - sent, at=self.ep.now)
                 self._on_reply_ok(target, fut, sent)
             else:
                 target.misses += 1

@@ -58,6 +58,7 @@ STATE_END = "ft-state-end"
 RECONCILED = "ft-reconciled"
 RESYNC = "ft-resync"
 RESYNC_STATE = "ft-resync-state"
+POLICY = "ft-policy"
 
 _ENVELOPE_OVERHEAD = 64
 
@@ -577,6 +578,8 @@ class ReplicationEngine:
             self._deliver_resync(message, payload)
         elif kind == RESYNC_STATE:
             self._deliver_resync_state(message, payload)
+        elif kind == POLICY:
+            self._deliver_policy(message, payload)
 
     # ------------------------------------------------------------------
     # Requests
@@ -1149,6 +1152,77 @@ class ReplicationEngine:
             replica.dispatcher.submit(task)
 
     # ------------------------------------------------------------------
+    # Online policy retuning
+    # ------------------------------------------------------------------
+
+    def send_policy_update(self, group, changes):
+        """Multicast a totally-ordered policy change to a hosted group.
+
+        Every replica applies the change at the same position in the
+        delivery order, so a style switch never leaves the group with a
+        mixed view of who executes: all members agree on which requests
+        precede the switch (old style governs them) and which follow it.
+        ``changes`` are :class:`GroupPolicy` field overrides -- typically
+        ``style`` or ``checkpoint_interval_ops``.
+        """
+        changes = dict(changes)
+        known = set(GroupPolicy().__dict__)
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise ValueError("unknown policy fields: %s" % ", ".join(unknown))
+        GroupPolicy().copy(**changes)  # validates values (e.g. the style)
+        self.ep.emit("ft.policy.sent", {"group": group,
+                                         "changes": sorted(changes)})
+        self._member_for(group).send(
+            (group,),
+            (POLICY, group, changes),
+            size=_ENVELOPE_OVERHEAD,
+        )
+
+    def _deliver_policy(self, message, payload):
+        _, group, changes = payload
+        replica = self.replicas.get(group)
+        if replica is None:
+            return
+        if not replica.ready or replica.awaiting_merge_capture:
+            # Ordered with the stalled requests: on replay the policy
+            # switches styles at the same relative position everywhere.
+            replica.buffered.append(("policy", payload, message.order_key))
+            return
+        self._apply_policy(replica, changes)
+
+    def _apply_policy(self, replica, changes):
+        executed_before = replica.executes_here
+        replica.policy = replica.policy.copy(**changes)
+        self.ep.emit("ft.policy.applied", {"group": replica.group,
+                                            "node": self.node_id,
+                                            "style": replica.policy.style,
+                                            "changes": sorted(changes)})
+        if not executed_before and replica.executes_here:
+            # This replica starts executing (e.g. WARM_PASSIVE -> ACTIVE
+            # at a backup): cover every delivered-but-uncompleted request
+            # exactly as a passive failover would, so nothing delivered
+            # before the switch is lost and nothing is double-applied
+            # (the runner re-checks completion before executing).
+            uncovered = 0
+            for pending in replica.pending_in_order():
+                if pending.operation_id in replica.executing:
+                    continue
+                uncovered += 1
+                task = ExecutionTask(
+                    replica, pending, self._run_task,
+                    resend_reply=not replica.tables.reply_already_seen(
+                        pending.operation_id
+                    ),
+                )
+                replica.dispatcher.submit(task)
+            self.ep.emit("ft.policy.replay", {"group": replica.group,
+                                               "node": self.node_id,
+                                               "n": uncovered})
+        # Lease eligibility depends on the style (leader_serves_reads).
+        self.leases.sync(replica)
+
+    # ------------------------------------------------------------------
     # State transfer: sponsor side
     # ------------------------------------------------------------------
 
@@ -1416,6 +1490,8 @@ class ReplicationEngine:
                 self._deliver_state_update_image(_FakeMessage(order_key), payload)
             elif kind == "checkpoint":
                 self._deliver_checkpoint(_FakeMessage(order_key), payload)
+            elif kind == "policy":
+                self._apply_policy(replica, payload[2])
 
     # ------------------------------------------------------------------
     # Remerge stall: secondary components wait for the inbound capture

@@ -170,6 +170,53 @@ class ReplicationManager:
         return best
 
     # ------------------------------------------------------------------
+    # Degree adaptation (raise/lower the target degree at runtime)
+    # ------------------------------------------------------------------
+
+    def grow_degree(self, group):
+        """Add one replica on the best spare and raise ``min_replicas``.
+
+        The bumped floor makes the growth sticky: degree restoration now
+        maintains the higher degree through subsequent faults.  Returns
+        the chosen node, or None when no eligible spare exists.
+        """
+        record = self._record(group)
+        spare = self._pick_spare(record)
+        if spare is None:
+            return None
+        self.add_member(group, spare)
+        record.policy = record.policy.copy(
+            min_replicas=max(record.policy.min_replicas,
+                             len(record.locations)))
+        return spare
+
+    def shrink_degree(self, group, floor=1):
+        """Retire one live backup replica (never the primary).
+
+        Lowers ``min_replicas`` to the shrunken degree (bounded below by
+        ``floor``) and returns the retired node to the spare pool so a
+        later growth can reuse it.  Returns the node, or None when the
+        group is already at the floor or has no removable live backup.
+        """
+        record = self._record(group)
+        floor = max(int(floor), 1)
+        if len(record.locations) <= floor:
+            return None
+        live = [node for node in record.locations
+                if self.engines[node].ep.alive]
+        primary = min(live) if live else None
+        candidates = sorted(node for node in live if node != primary)
+        if not candidates:
+            return None
+        victim = candidates[-1]
+        self.remove_member(group, victim)
+        record.policy = record.policy.copy(
+            min_replicas=max(floor, min(record.policy.min_replicas,
+                                        len(record.locations))))
+        self.register_spare(victim)
+        return victim
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 

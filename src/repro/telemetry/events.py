@@ -209,6 +209,12 @@ register_category("ft.resync.sent", ("group", "bytes"),
                   "primary sent a resync capture to a gapped backup")
 register_category("ft.resync.adopted", ("group", "node", "fulfillment"),
                   "gapped backup adopted the primary's resync capture")
+register_category("ft.policy.sent", ("group", "changes"),
+                  "totally-ordered group policy update multicast")
+register_category("ft.policy.applied", ("group", "node", "style", "changes"),
+                  "policy update applied at its delivery position")
+register_category("ft.policy.replay", ("group", "node", "n"),
+                  "newly-executing replica covered its pending requests")
 register_category("ft.state.update.image.sent", ("group",),
                   "warm-passive update image pushed")
 register_category("ft.state.update.image.applied", ("group", "node"),
@@ -293,3 +299,19 @@ register_category("oltp.rejected", ("service", "op", "error"),
                   "an OLTP invocation was rejected by application logic")
 register_category("oltp.failed", ("service", "op", "error"),
                   "an OLTP invocation failed with a system error")
+
+# Adaptation controller (repro.adaptation): every decision attributable.
+register_category("adapt.start", ("groups", "interval"),
+                  "adaptation controller began governing groups")
+register_category("adapt.stop", (),
+                  "adaptation controller stopped")
+register_category("adapt.action", ("group", "lever", "action", "evidence",
+                                   "cooldown"),
+                  "an adaptation action was taken, with its evidence and "
+                  "the cool-down state that allowed it")
+register_category("adapt.suppressed", ("group", "lever", "action", "reason",
+                                       "evidence"),
+                  "a desired adaptation was withheld (cooldown/dwell/"
+                  "unactionable)")
+register_category("adapt.error", ("group", "lever", "error"),
+                  "an adaptation actuator raised; the loop continues")

@@ -14,6 +14,7 @@ test).
 """
 
 import math
+from collections import deque
 
 #: Default latency bucket upper bounds, seconds: 1us .. 60s, roughly
 #: geometric.  The overflow bucket (> last bound) is implicit.
@@ -85,12 +86,20 @@ class HistogramMetric:
     recorded, the earliest samples are kept (deterministic, no
     reservoir randomness) and percentiles become estimates over that
     prefix; bucket counts always cover every recorded value.
+
+    Callers that pass a timestamp (``record(value, at=now)``) additionally
+    feed a bounded ring of ``(at, value)`` pairs that :meth:`window`
+    summarizes over the last N seconds -- recent behavior rather than
+    lifetime aggregates, which is what runtime adaptation reads.  The
+    timed ring is excluded from :meth:`snapshot` so same-seed metric
+    snapshots stay byte-identical whether or not anyone windows them.
     """
 
     __slots__ = ("name", "bounds", "counts", "total", "sum",
-                 "minimum", "maximum", "sample_limit", "_samples")
+                 "minimum", "maximum", "sample_limit", "_samples", "_timed")
 
-    def __init__(self, name, bounds=None, sample_limit=4096):
+    def __init__(self, name, bounds=None, sample_limit=4096,
+                 window_limit=2048):
         self.name = name
         self.bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
         if list(self.bounds) != sorted(self.bounds):
@@ -102,8 +111,9 @@ class HistogramMetric:
         self.maximum = None
         self.sample_limit = sample_limit
         self._samples = []
+        self._timed = deque(maxlen=window_limit)
 
-    def record(self, value):
+    def record(self, value, at=None):
         index = self._bucket_index(value)
         self.counts[index] += 1
         self.total += 1
@@ -114,6 +124,8 @@ class HistogramMetric:
             self.maximum = value
         if len(self._samples) < self.sample_limit:
             self._samples.append(value)
+        if at is not None:
+            self._timed.append((at, value))
 
     def _bucket_index(self, value):
         lo, hi = 0, len(self.bounds)
@@ -149,6 +161,37 @@ class HistogramMetric:
     @property
     def p99(self):
         return self.percentile(0.99)
+
+    def window_samples(self, now, seconds):
+        """Timestamped values recorded within ``[now - seconds, now]``.
+
+        Only values recorded with an explicit ``at=`` timestamp are
+        eligible; the ring keeps the most recent ``window_limit`` of
+        them.  Values stamped in the future of ``now`` (a different
+        clock) are excluded.
+        """
+        floor = now - seconds
+        return [value for at, value in self._timed if floor <= at <= now]
+
+    def window(self, now, seconds):
+        """Summary statistics over the last ``seconds`` of timed samples.
+
+        Returns ``{"count": 0}`` when nothing was recorded in the
+        window, else count/mean/min/max and nearest-rank p50/p95/p99.
+        """
+        values = self.window_samples(now, seconds)
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "p99": percentile(ordered, 0.99),
+        }
 
     def snapshot(self):
         """A JSON-friendly, deterministic summary."""

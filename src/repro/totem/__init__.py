@@ -19,7 +19,7 @@ system uses as its consistency substrate:
   (:mod:`repro.totem.process_groups`).
 """
 
-from repro.totem.config import TotemConfig
+from repro.totem.config import RetransmitBudgetExceeded, TotemConfig
 from repro.totem.events import (
     DeliveredMessage,
     RegularConfiguration,
@@ -32,6 +32,7 @@ from repro.totem.ringmux import RingMux
 from repro.totem.cluster import TotemCluster
 
 __all__ = [
+    "RetransmitBudgetExceeded",
     "TotemConfig",
     "DeliveredMessage",
     "RegularConfiguration",

@@ -6,6 +6,10 @@ timers; experiment E3 sweeps the send window.
 """
 
 
+class RetransmitBudgetExceeded(RuntimeError):
+    """The run spent more retransmissions than its configured budget."""
+
+
 class TotemConfig:
     """Protocol parameters for one :class:`~repro.totem.TotemProcessor`.
 
@@ -42,6 +46,14 @@ class TotemConfig:
         batching: coalesce all regular messages broadcast during one token
             visit into a single framed batch (one network event, one
             per-hop overhead).  Requires ``wire_codec``.
+        retransmit_budget: optional per-run cap on total retransmissions
+            (data rebroadcasts plus token/commit resends) charged to the
+            runtime-wide ``totem.retransmit.budget`` counter.  When the
+            counter passes the cap the processor raises
+            :class:`RetransmitBudgetExceeded`, turning a retransmission
+            storm (the campaign-sweep seed-5 blowup) into a prompt,
+            attributable failure instead of minutes of silent churn.
+            ``None`` (the default) never trips; the counter still counts.
     """
 
     def __init__(
@@ -60,6 +72,7 @@ class TotemConfig:
         beacon_interval=0.05,
         wire_codec=True,
         batching=True,
+        retransmit_budget=None,
     ):
         self.token_hold = token_hold
         self.token_retransmit_timeout = token_retransmit_timeout
@@ -75,6 +88,7 @@ class TotemConfig:
         self.beacon_interval = beacon_interval
         self.wire_codec = wire_codec
         self.batching = batching
+        self.retransmit_budget = retransmit_budget
 
     def copy(self, **overrides):
         """A copy of this config with selected fields replaced."""

@@ -19,7 +19,7 @@ State machine (mirrors the Totem membership protocol's phases):
 """
 
 from repro.runtime.sim import endpoint_of
-from repro.totem.config import TotemConfig
+from repro.totem.config import RetransmitBudgetExceeded, TotemConfig
 from repro.totem.events import (
     DeliveredMessage,
     RegularConfiguration,
@@ -327,6 +327,26 @@ class TotemProcessor:
         else:
             self.ep.broadcast(PORT, message, size=size)
 
+    def _charge_retransmit(self):
+        """Count one retransmission against the run's shared budget.
+
+        Every data rebroadcast and token/commit resend funnels through
+        here; the ``totem.retransmit.budget`` counter is runtime-wide, so
+        it totals the whole domain's retransmission spend.  With
+        ``config.retransmit_budget`` set, passing the cap raises
+        :class:`~repro.totem.config.RetransmitBudgetExceeded` -- the
+        guard that turns a retransmission storm into a prompt failure.
+        """
+        telemetry = getattr(self.ep, "telemetry", None)
+        if telemetry is None:
+            return
+        spent = telemetry.metrics.counter("totem.retransmit.budget").inc()
+        budget = self.config.retransmit_budget
+        if budget is not None and spent > budget:
+            raise RetransmitBudgetExceeded(
+                "retransmission budget exhausted: %d > %d (node %s, ring %s)"
+                % (spent, budget, self.node_id, self.ring_id))
+
     def _unicast(self, dst, message, size):
         if self.config.wire_codec:
             data = wire_encode(message, ring=self.ring_id)
@@ -442,6 +462,7 @@ class TotemProcessor:
         for seq in sorted(token.rtr):
             msg = store.received.get(seq)
             if msg is not None:
+                self._charge_retransmit()
                 self._broadcast(msg.copy_for_retransmit(), msg.size)
                 token.rtr.discard(seq)
 
@@ -560,6 +581,7 @@ class TotemProcessor:
             if self._token_retransmits >= self.config.token_retransmit_limit:
                 return  # give up; the loss timer will trigger membership
             self._token_retransmits += 1
+            self._charge_retransmit()
             self.ep.emit(
                 "totem.token.retransmit",
                 {"node": self.node_id, "ring_id": self.ring_id},
@@ -857,6 +879,7 @@ class TotemProcessor:
             if self._commit_retransmits >= self.config.token_retransmit_limit:
                 return
             self._commit_retransmits += 1
+            self._charge_retransmit()
             successor, token, size = self._commit_sent
             self.ep.emit(
                 "totem.commit.retransmit",
@@ -978,6 +1001,7 @@ class TotemProcessor:
         for seq in sorted(union):
             holders = [info.member for info in group if self._info_has(info, seq)]
             if holders and min(holders) == self.node_id and seq in store.received:
+                self._charge_retransmit()
                 msg = store.received[seq].copy_for_retransmit()
                 self._broadcast(msg, msg.size)
 
@@ -1027,6 +1051,7 @@ class TotemProcessor:
         for seq in request.seqs:
             msg = store.received.get(seq)
             if msg is not None:
+                self._charge_retransmit()
                 self._broadcast(msg.copy_for_retransmit(), msg.size)
 
     def _handle_recovery_done(self, src, done):

@@ -40,6 +40,23 @@ class UpgradePlan:
         )
 
 
+class PolicyChange:
+    """Record of one online policy retune (style switch or cadence)."""
+
+    __slots__ = ("group", "changes", "sent_at", "via")
+
+    def __init__(self, group, changes, sent_at, via):
+        self.group = group
+        self.changes = changes
+        self.sent_at = sent_at
+        self.via = via  # node whose engine multicast the update
+
+    def __repr__(self):
+        return "PolicyChange(%s, %r, t=%.4f)" % (
+            self.group, self.changes, self.sent_at,
+        )
+
+
 class LiveUpgradeCoordinator:
     """Replaces a group's replicas with upgraded implementations, live.
 
@@ -104,6 +121,42 @@ class LiveUpgradeCoordinator:
         record.factory = new_factory
         plan.completed = True
         return plan
+
+    def switch_style(self, group, style, **extra):
+        """Switch a group's replication style online.
+
+        Non-blocking: the change is multicast as a totally-ordered policy
+        envelope on the group's home ring and applies at every replica at
+        the same delivery position -- there is no window where members
+        disagree about which requests the new style governs.  The caller
+        (typically the adaptation controller, from a timer callback) must
+        NOT be driving the runtime; delivery happens as the runtime runs.
+        """
+        return self.retune(group, style=style, **extra)
+
+    def retune(self, group, **changes):
+        """Multicast a policy field change (e.g. checkpoint cadence).
+
+        Updates the manager's record so future joiners and restored
+        replicas start from the new policy; returns the PolicyChange
+        appended to ``history``.
+        """
+        record = self.manager._record(group)
+        engine = self._live_engine(record)
+        engine.send_policy_update(group, changes)
+        record.policy = record.policy.copy(**changes)
+        change = PolicyChange(group, dict(changes), engine.ep.now,
+                              engine.node_id)
+        self.history.append(change)
+        return change
+
+    def _live_engine(self, record):
+        for node in record.locations:
+            engine = self.manager.engines.get(node)
+            if engine is not None and engine.ep.alive:
+                return engine
+        raise ValueError("no live replica of %r to carry the policy update"
+                         % record.group)
 
     # ------------------------------------------------------------------
     # Step implementations

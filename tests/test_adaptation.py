@@ -1,0 +1,469 @@
+"""Tests for adaptive fault tolerance (repro.adaptation) and its inputs.
+
+Covers the declarative policy validation, the evidence windows, the
+per-group failover breakdown feeding the SLO report, the retransmission
+budget guard, live style switches under concurrent OLTP load, and the
+controller's three levers with their hysteresis.
+"""
+
+import pytest
+
+from repro.adaptation import (
+    AdaptationController,
+    AdaptationPolicy,
+    EvidenceWindow,
+    SloTarget,
+)
+from repro.chaos import (
+    CampaignSpec,
+    ChaosCampaign,
+    InvariantChecker,
+    SimInjector,
+    build_slo_report,
+    failover_breakdown,
+    format_slo_report,
+)
+from repro.core import EternalSystem
+from repro.replication import GroupPolicy, ReplicationStyle
+from repro.runtime.sim import SimRuntime
+from repro.totem import RetransmitBudgetExceeded, TotemConfig
+from repro.upgrade import LiveUpgradeCoordinator
+from repro.workloads import AccountsService
+from repro.workloads.oltp import OltpTraffic
+
+NODES = ["n1", "n2", "n3"]
+MIX = ((2, "accounts", "deposit"), (1, "accounts", "debit"))
+
+
+def governed_system(seed=0, style=ReplicationStyle.WARM_PASSIVE,
+                    keep_trace_records=False, **group_policy):
+    """A 3-node system plus an unused spare, one accounts group."""
+    runtime = SimRuntime(seed=seed, keep_trace_records=keep_trace_records)
+    system = EternalSystem(NODES + ["spare"], runtime=runtime).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "acct", lambda: AccountsService({"alice": 1000, "bob": 1000}),
+        NODES, GroupPolicy(style=style, **group_policy),
+    )
+    system.run_for(0.5)
+    return system, ior
+
+
+# ---------------------------------------------------------------------------
+# Policy validation
+# ---------------------------------------------------------------------------
+
+
+def test_slo_target_validation():
+    assert SloTarget().max_failover_seconds is None
+    with pytest.raises(ValueError):
+        SloTarget(max_failover_seconds=0)
+    with pytest.raises(ValueError):
+        SloTarget(availability_floor=0.0)
+    with pytest.raises(ValueError):
+        SloTarget(availability_floor=1.5)
+
+
+def test_adaptation_policy_validation():
+    with pytest.raises(ValueError):
+        AdaptationPolicy(window_seconds=0)
+    with pytest.raises(ValueError):
+        AdaptationPolicy(escalate_style="no-such-style")
+    with pytest.raises(ValueError):
+        AdaptationPolicy(escalate_style=ReplicationStyle.ACTIVE,
+                         relax_style=ReplicationStyle.ACTIVE)
+    with pytest.raises(ValueError):
+        AdaptationPolicy(crashes_high=1, crashes_low=1)
+    with pytest.raises(ValueError):
+        AdaptationPolicy(min_degree=5, max_degree=3)
+    with pytest.raises(ValueError):
+        AdaptationPolicy(checkpoint_bounds=(0, 10))
+    with pytest.raises(ValueError):
+        AdaptationPolicy(cooldown_seconds=-1)
+
+
+# ---------------------------------------------------------------------------
+# Per-group failover breakdown (SLO satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_failover_breakdown_pairs_crash_to_reconfiguring_view():
+    events = [
+        (0.0, "ft.view", {"group": "g", "members": ["n1", "n2"]}, 0),
+        (0.0, "ft.view", {"group": "h", "members": ["n1", "n3"]}, 0),
+        (1.0, "node.crash", {"node": "n1"}, 0),
+        (1.3, "ft.view", {"group": "g", "members": ["n2"]}, 0),
+        (1.9, "ft.view", {"group": "h", "members": ["n3"]}, 0),
+    ]
+    breakdown = failover_breakdown(events)
+    # The shared node's crash opened a failover in both groups, each
+    # closed by its own reconfiguring view.
+    assert breakdown["g"] == [pytest.approx(0.3)]
+    assert breakdown["h"] == [pytest.approx(0.9)]
+
+
+def test_failover_breakdown_cancels_when_the_node_rejoins():
+    events = [
+        (0.0, "ft.view", {"group": "g", "members": ["n1", "n2"]}, 0),
+        (1.0, "node.crash", {"node": "n1"}, 0),
+        (1.4, "ft.view", {"group": "g", "members": ["n1", "n2"]}, 0),
+    ]
+    assert failover_breakdown(events) == {}
+
+
+def test_slo_report_embeds_group_failover_and_adaptation_actions():
+    report = build_slo_report(
+        [], failover_durations=[0.4],
+        failover_by_group={"acct": [0.4], "orders": []},
+        adaptation_actions=[{"time": 1.5, "group": "acct",
+                             "lever": "style", "action": "active"}],
+    )
+    assert report["failover_by_group"]["acct"]["count"] == 1
+    assert report["failover_by_group"]["orders"] == {"count": 0}
+    assert report["adaptation_actions"][0]["lever"] == "style"
+    rendered = format_slo_report(report)
+    assert "acct: n=1" in rendered
+    assert "adaptation: 1 actions" in rendered
+    assert "t=1.500 acct style active" in rendered
+
+
+# ---------------------------------------------------------------------------
+# Evidence windows
+# ---------------------------------------------------------------------------
+
+
+def test_evidence_window_reads_watched_events_and_expires():
+    runtime = SimRuntime(seed=1)
+    window = EvidenceWindow(runtime, window_seconds=1.0)
+    sim = runtime.sim
+    sim.schedule(0.5, lambda: runtime.emit(
+        "oltp.reply", {"service": "a", "op": "x"}), "test")
+    sim.schedule(0.6, lambda: runtime.emit(
+        "oltp.failed", {"service": "a", "op": "x", "error": "E"}), "test")
+    sim.schedule(0.7, lambda: runtime.emit(
+        "node.crash", {"node": "n1"}), "test")
+    runtime.run_for(0.8)
+    runtime.telemetry.metrics.histogram("ftdet.rtt").record(
+        0.01, at=runtime.now)
+
+    snap = window.snapshot(runtime.now)
+    assert snap["crashes"] == 1
+    assert snap["availability"]["answered"] == 1
+    assert snap["availability"]["failed"] == 1
+    assert snap["availability"]["availability"] == pytest.approx(0.5)
+    assert snap["rtt"]["count"] == 1
+
+    # Everything ages out of the window.
+    runtime.run_for(1.5)
+    stale = window.snapshot(runtime.now)
+    assert stale["crashes"] == 0
+    assert stale["availability"]["availability"] is None
+    window.close()
+
+
+def test_evidence_window_close_detaches_the_sink():
+    runtime = SimRuntime(seed=1)
+    window = EvidenceWindow(runtime, window_seconds=5.0)
+    runtime.emit("node.crash", {"node": "n1"})
+    assert len(window._events) == 1
+    window.close()
+    window.close()  # idempotent
+    runtime.emit("node.crash", {"node": "n2"})
+    assert len(window._events) == 1
+
+
+# ---------------------------------------------------------------------------
+# Retransmission budget (campaign-sweep instrumentation)
+# ---------------------------------------------------------------------------
+
+
+def test_retransmit_budget_counts_and_trips():
+    system = EternalSystem(NODES, totem_config=TotemConfig()).start()
+    system.stabilize()
+    counter = system.telemetry.metrics.counter("totem.retransmit.budget")
+    base = counter.value
+    system.totem_config.retransmit_budget = base + 2
+    processor = system.nodes["n1"].processor
+    processor._charge_retransmit()
+    processor._charge_retransmit()
+    with pytest.raises(RetransmitBudgetExceeded, match="budget exhausted"):
+        processor._charge_retransmit()
+    # The trip itself was counted: the cap bounds *further* spending.
+    assert counter.value == base + 3
+
+
+def test_retransmit_budget_none_never_trips():
+    system = EternalSystem(NODES).start()
+    system.stabilize()
+    assert system.totem_config.retransmit_budget is None
+    processor = system.nodes["n1"].processor
+    for _ in range(5):
+        processor._charge_retransmit()  # counts, never raises
+
+
+# ---------------------------------------------------------------------------
+# Live style switch under concurrent OLTP load (mid-campaign)
+# ---------------------------------------------------------------------------
+
+
+def test_style_switch_under_oltp_load_mid_campaign_keeps_invariants():
+    runtime = SimRuntime(seed=3, keep_trace_records=True)
+    system = EternalSystem(NODES, runtime=runtime).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "acct", lambda: AccountsService({"alice": 500, "bob": 500}),
+        NODES, GroupPolicy(style=ReplicationStyle.WARM_PASSIVE),
+    )
+    system.run_for(0.5)
+    traffic = OltpTraffic(
+        runtime, {"accounts": system.stub("n1", ior)},
+        rate=10, duration=3.0, mix=MIX,
+    ).start()
+    campaign = ChaosCampaign(CampaignSpec(
+        nodes=NODES, seed=5, start=0.5, duration=2.5,
+        crashes=1, crash_targets=("n2",), partitions=0,
+        loss_bursts=0, latency_spikes=0, slow_nodes=0,
+    ))
+    SimInjector(runtime).arm(campaign)
+
+    # Switch the style mid-campaign, with traffic in flight.
+    system.run_for(1.5)
+    coordinator = LiveUpgradeCoordinator(system.manager)
+    change = coordinator.switch_style("acct", ReplicationStyle.ACTIVE)
+    assert change.changes == {"style": ReplicationStyle.ACTIVE}
+    system.run_for(10.5)
+    assert traffic.finished
+
+    # The whole group converged on the new style.
+    assert (system.manager.records["acct"].policy.style
+            == ReplicationStyle.ACTIVE)
+    for replica in system.replicas_of("acct").values():
+        if replica.ready:
+            assert replica.policy.style == ReplicationStyle.ACTIVE
+    assert runtime.trace.counters["ft.policy.applied"] >= 2
+
+    # And the switch cost nothing: exactly-once and convergence hold.
+    states = list(system.states_of("acct").values())
+    checker = InvariantChecker()
+    checker.check_operations(traffic.mutating_records(), states[0]["ledger"])
+    checker.check_no_duplicates({"acct": states[0]["ledger"]})
+    checker.check_convergence({"acct": states})
+    events = [(r.time, r.category, r.detail, 0)
+              for r in runtime.trace.records]
+    durations = checker.check_failover(events, bound=5.0)
+    assert checker.report.ok, checker.report.format()
+    assert durations
+
+
+def test_switch_back_to_warm_passive_under_load_keeps_invariants():
+    runtime = SimRuntime(seed=11, keep_trace_records=True)
+    system = EternalSystem(NODES, runtime=runtime).start()
+    system.stabilize()
+    ior = system.create_replicated(
+        "acct", lambda: AccountsService({"alice": 500, "bob": 500}),
+        NODES, GroupPolicy(style=ReplicationStyle.ACTIVE),
+    )
+    system.run_for(0.5)
+    traffic = OltpTraffic(
+        runtime, {"accounts": system.stub("n1", ior)},
+        rate=10, duration=2.0, mix=MIX,
+    ).start()
+    system.run_for(1.0)
+    LiveUpgradeCoordinator(system.manager).switch_style(
+        "acct", ReplicationStyle.WARM_PASSIVE)
+    system.run_for(6.0)
+    assert traffic.finished
+
+    states = list(system.states_of("acct").values())
+    checker = InvariantChecker()
+    checker.check_operations(traffic.mutating_records(), states[0]["ledger"])
+    checker.check_no_duplicates({"acct": states[0]["ledger"]})
+    checker.check_convergence({"acct": states})
+    assert checker.report.ok, checker.report.format()
+    for replica in system.replicas_of("acct").values():
+        assert replica.policy.style == ReplicationStyle.WARM_PASSIVE
+
+
+def test_policy_update_rejects_unknown_fields_and_values():
+    system, _ior = governed_system()
+    coordinator = LiveUpgradeCoordinator(system.manager)
+    with pytest.raises(ValueError, match="unknown policy fields"):
+        coordinator.retune("acct", no_such_knob=1)
+    with pytest.raises(ValueError):
+        coordinator.switch_style("acct", "interpretive-dance")
+
+
+# ---------------------------------------------------------------------------
+# The controller: levers and hysteresis
+# ---------------------------------------------------------------------------
+
+
+def test_controller_escalates_on_crash_burst_and_relaxes_when_quiet():
+    system, _ior = governed_system(seed=2)
+    policy = AdaptationPolicy(
+        slo=SloTarget(), window_seconds=1.5, crashes_high=1,
+        cooldown_seconds=0.3, min_dwell_seconds=0.3,
+    )
+    controller = AdaptationController(
+        system, {"acct": policy}, interval=0.25).start()
+    system.run_for(0.6)
+    assert controller.actions == []  # quiet: nothing to do
+
+    system.runtime.crash("n3")
+    system.run_for(1.0)
+    record = system.manager.records["acct"]
+    assert record.policy.style == ReplicationStyle.ACTIVE
+
+    system.runtime.recover("n3")
+    system.run_for(3.0)
+    assert record.policy.style == ReplicationStyle.WARM_PASSIVE
+
+    assert [a.lever for a in controller.actions] == ["style", "style"]
+    escalate, relax = controller.actions
+    assert escalate.action == ReplicationStyle.ACTIVE
+    assert "crashes" in escalate.evidence["breaches"]
+    assert escalate.evidence["crashes"] >= 1
+    assert relax.action == ReplicationStyle.WARM_PASSIVE
+    assert relax.evidence["breaches"] == []
+    summaries = controller.actions_summary()
+    assert summaries[0]["action"] == ReplicationStyle.ACTIVE
+    counters = system.runtime.trace.counters
+    assert counters["adapt.start"] == 1
+    assert counters["adapt.action"] == 2
+    controller.stop()
+    assert counters["adapt.stop"] == 1
+
+
+def test_controller_cooldown_suppresses_the_second_action():
+    system, _ior = governed_system(seed=4, keep_trace_records=True)
+    system.manager.register_spare("spare")
+    policy = AdaptationPolicy(
+        slo=SloTarget(), window_seconds=2.0, crashes_high=1,
+        max_degree=4, cooldown_seconds=60.0, min_dwell_seconds=0.1,
+    )
+    controller = AdaptationController(
+        system, {"acct": policy}, interval=0.25).start()
+    system.run_for(0.3)
+    system.runtime.crash("n3")
+    system.run_for(1.5)
+
+    # The burst produced exactly one action (the style escalation); the
+    # desired degree growth was then suppressed by the cool-down.
+    assert [a.lever for a in controller.actions] == ["style"]
+    suppressed = [r.detail for r in system.runtime.trace.records
+                  if r.category == "adapt.suppressed"]
+    assert any(d["reason"] == "cooldown" and d["lever"] == "degree"
+               for d in suppressed)
+    controller.stop()
+
+
+def test_controller_dwell_blocks_an_early_relax():
+    system, _ior = governed_system(seed=6, keep_trace_records=True)
+    policy = AdaptationPolicy(
+        slo=SloTarget(), window_seconds=1.0, crashes_high=1,
+        cooldown_seconds=0.2, min_dwell_seconds=60.0,
+    )
+    controller = AdaptationController(
+        system, {"acct": policy}, interval=0.25).start()
+    system.run_for(0.3)
+    system.runtime.crash("n3")
+    system.run_for(0.8)
+    system.runtime.recover("n3")
+    system.run_for(3.0)
+
+    # Escalated, then pinned there: the relax is desired but must dwell.
+    record = system.manager.records["acct"]
+    assert record.policy.style == ReplicationStyle.ACTIVE
+    assert [a.lever for a in controller.actions] == ["style"]
+    suppressed = [r.detail for r in system.runtime.trace.records
+                  if r.category == "adapt.suppressed"]
+    assert any(d["reason"] == "dwell" and d["lever"] == "style"
+               for d in suppressed)
+    controller.stop()
+
+
+def test_controller_grows_and_shrinks_degree_with_the_environment():
+    system, _ior = governed_system(seed=8)
+    system.manager.register_spare("spare")
+    policy = AdaptationPolicy(
+        slo=SloTarget(), window_seconds=1.0, crashes_high=1,
+        max_degree=4, min_degree=3,
+        cooldown_seconds=0.3, min_dwell_seconds=0.1,
+    )
+    controller = AdaptationController(
+        system, {"acct": policy}, interval=0.25).start()
+    record = system.manager.records["acct"]
+
+    system.run_for(0.3)
+    system.runtime.crash("n3")
+    system.run_for(1.0)
+    # Hostile: escalated, then grew onto the spare.
+    assert record.policy.style == ReplicationStyle.ACTIVE
+    assert sorted(record.locations) == ["n1", "n2", "n3", "spare"]
+    assert record.policy.min_replicas >= 4
+
+    system.runtime.recover("n3")
+    system.run_for(4.0)
+    # Quiet again: relaxed the style and released the spare.
+    assert record.policy.style == ReplicationStyle.WARM_PASSIVE
+    assert len(record.locations) == 3
+    assert "spare" in system.manager.spares
+    assert [a.lever for a in controller.actions] == [
+        "style", "degree", "style", "degree"]
+    grow, shrink = controller.actions[1], controller.actions[3]
+    assert grow.action == "grow:spare"
+    assert shrink.action == "shrink:spare"
+    controller.stop()
+
+
+def test_controller_retunes_checkpoint_cadence_to_the_update_rate():
+    system, ior = governed_system(seed=10, style=ReplicationStyle.COLD_PASSIVE)
+    record = system.manager.records["acct"]
+    assert record.policy.checkpoint_interval_ops == 50
+    policy = AdaptationPolicy(
+        slo=SloTarget(), window_seconds=2.0, crashes_high=99,
+        checkpoint_horizon_seconds=1.0, checkpoint_bounds=(5, 500),
+        cooldown_seconds=0.5, min_dwell_seconds=0.1,
+    )
+    controller = AdaptationController(
+        system, {"acct": policy}, interval=0.5).start()
+
+    # ~10 updates/second of steady traffic for a few seconds.
+    traffic = OltpTraffic(
+        system.runtime, {"accounts": system.stub("n1", ior)},
+        rate=10, duration=4.0, mix=MIX,
+    ).start()
+    system.run_for(6.0)
+    assert traffic.finished
+
+    cadence = [a for a in controller.actions if a.lever == "cadence"]
+    assert cadence, [a.summary() for a in controller.actions]
+    # Retuned toward ~horizon * rate ops between checkpoints.
+    assert 5 <= record.policy.checkpoint_interval_ops <= 25
+    assert record.policy.checkpoint_interval_ops != 50
+    for replica in system.replicas_of("acct").values():
+        assert (replica.policy.checkpoint_interval_ops
+                == record.policy.checkpoint_interval_ops)
+    controller.stop()
+
+
+def test_controller_action_log_is_deterministic():
+    def run_once():
+        system, _ior = governed_system(seed=12)
+        policy = AdaptationPolicy(
+            slo=SloTarget(), window_seconds=1.5, crashes_high=1,
+            cooldown_seconds=0.3, min_dwell_seconds=0.3,
+        )
+        controller = AdaptationController(
+            system, {"acct": policy}, interval=0.25).start()
+        system.run_for(0.6)
+        system.runtime.crash("n3")
+        system.run_for(1.0)
+        system.runtime.recover("n3")
+        system.run_for(3.0)
+        controller.stop()
+        counters = {k: v for k, v in system.runtime.trace.counters.items()
+                    if k.startswith("adapt.")}
+        return controller.actions_summary(), counters
+
+    assert run_once() == run_once()

@@ -59,6 +59,55 @@ def test_histogram_sample_limit_keeps_prefix_deterministically():
     assert histogram._samples == [1, 2, 3]  # keep-first, no randomness
 
 
+def test_histogram_window_reads_recent_behavior_only():
+    histogram = HistogramMetric("ftdet.rtt", bounds=(1.0,))
+    # An early burst of slow samples, then a recent quiet period.
+    for at, value in ((0.0, 9.0), (1.0, 8.0), (2.0, 7.0)):
+        histogram.record(value, at=at)
+    for at in (10.0, 10.5, 11.0, 11.5):
+        histogram.record(0.01, at=at)
+    lifetime_p99 = histogram.p99
+    recent = histogram.window(now=12.0, seconds=3.0)
+    assert lifetime_p99 == 9.0           # lifetime still remembers the burst
+    assert recent["count"] == 4
+    assert recent["p50"] == recent["p99"] == 0.01
+    assert recent["mean"] == pytest.approx(0.01)
+    assert recent["min"] == recent["max"] == 0.01
+    # The burst is visible through a wide-enough window...
+    assert histogram.window(now=12.0, seconds=12.0)["max"] == 9.0
+    # ...and an empty window reports count 0 rather than raising.
+    assert histogram.window(now=100.0, seconds=1.0) == {"count": 0}
+
+
+def test_histogram_window_excludes_future_and_untimed_samples():
+    histogram = HistogramMetric("h", bounds=(1.0,))
+    histogram.record(5.0)                 # no timestamp: lifetime-only
+    histogram.record(1.0, at=2.0)
+    histogram.record(2.0, at=50.0)        # ahead of the observer's clock
+    assert histogram.total == 3
+    window = histogram.window(now=3.0, seconds=10.0)
+    assert window["count"] == 1 and window["max"] == 1.0
+    assert histogram.window_samples(3.0, 10.0) == [1.0]
+
+
+def test_histogram_window_ring_is_bounded():
+    histogram = HistogramMetric("h", bounds=(1.0,), window_limit=3)
+    for index in range(6):
+        histogram.record(float(index), at=float(index))
+    assert len(histogram._timed) == 3     # keeps the most recent entries
+    assert histogram.window(now=6.0, seconds=10.0)["count"] == 3
+    assert histogram.window(now=6.0, seconds=10.0)["min"] == 3.0
+
+
+def test_histogram_window_stays_out_of_snapshot():
+    timed = HistogramMetric("h", bounds=(1.0,))
+    untimed = HistogramMetric("h", bounds=(1.0,))
+    for value in (0.5, 2.0):
+        timed.record(value, at=1.0)
+        untimed.record(value)
+    assert timed.snapshot() == untimed.snapshot()
+
+
 def test_percentile_is_nearest_rank():
     assert percentile([1, 2, 3, 4], 0.5) == 2
     assert percentile([1, 2, 3, 4], 0.95) == 4
