@@ -106,10 +106,19 @@ class SimRuntime(Runtime):
     to the portable :class:`~repro.runtime.base.Runtime` contract.
     """
 
+    #: Default retention cap when ``keep_trace_records=True``: enough for
+    #: any invariant checker in the repo, while bounding a long chaos
+    #: campaign to ~hundreds of MB instead of multi-GB RSS.  Evictions are
+    #: oldest-first and counted under ``trace.records.dropped``.
+    TRACE_RECORD_LIMIT = 2_000_000
+
     def __init__(self, seed=0, profile=None, keep_trace_records=False,
-                 sim=None, net=None):
+                 sim=None, net=None, trace_record_limit=None):
+        if trace_record_limit is None and keep_trace_records:
+            trace_record_limit = self.TRACE_RECORD_LIMIT
         self.sim = sim if sim is not None else Simulator(
-            seed=seed, keep_trace_records=keep_trace_records
+            seed=seed, keep_trace_records=keep_trace_records,
+            trace_record_limit=trace_record_limit,
         )
         self.net = net if net is not None else Network(
             self.sim, profile=profile or LinkProfile()

@@ -14,10 +14,13 @@ from repro.telemetry import Telemetry
 class Simulator:
     """Deterministic simulation context shared by every layer of the stack."""
 
-    def __init__(self, seed=0, keep_trace_records=False, strict_trace=False):
+    def __init__(self, seed=0, keep_trace_records=False, strict_trace=False,
+                 trace_record_limit=None):
         self.scheduler = EventScheduler()
         self.rng = RngStreams(seed)
-        self.trace = TraceLog(keep_records=keep_trace_records, strict=strict_trace)
+        self.trace = TraceLog(keep_records=keep_trace_records,
+                              strict=strict_trace,
+                              record_limit=trace_record_limit)
         self.telemetry = Telemetry(self.trace)
         self.seed = seed
 

@@ -11,7 +11,7 @@ and ``strict=True`` validates each emission against the typed category
 registry in :mod:`repro.telemetry.events`.
 """
 
-from collections import Counter
+from collections import Counter, deque
 
 from repro.telemetry.events import validate as _validate_category
 
@@ -77,16 +77,29 @@ class TraceLog:
     """Collects trace records and per-category counters.
 
     Record collection is off by default (counters are always on) because the
-    long benchmark runs would otherwise hold millions of records.
+    long benchmark runs would otherwise hold millions of records.  With
+    ``record_limit`` set, retention is bounded: the newest ``record_limit``
+    records are kept (oldest evicted first) and every eviction bumps the
+    ``trace.records.dropped`` counter, so a long chaos campaign cannot
+    silently grow the record list into gigabytes of RSS.
     """
 
-    def __init__(self, keep_records=False, strict=False):
+    def __init__(self, keep_records=False, strict=False, record_limit=None):
+        if record_limit is not None and record_limit <= 0:
+            raise ValueError(
+                "record_limit must be positive, got %r" % (record_limit,))
         self.keep_records = keep_records
         self.strict = strict
-        self.records = []
+        self.record_limit = record_limit
+        self.records = [] if record_limit is None else deque(maxlen=record_limit)
         self.counters = Counter()
         self.byte_counters = Counter()
         self._sinks = []
+
+    @property
+    def records_dropped(self):
+        """Records evicted by the retention cap so far."""
+        return self.counters["trace.records.dropped"]
 
     def add_sink(self, sink):
         """Subscribe ``sink(time, category, detail, size)`` to every emit."""
@@ -104,6 +117,9 @@ class TraceLog:
         if size:
             self.byte_counters[category] += size
         if self.keep_records:
+            if (self.record_limit is not None
+                    and len(self.records) == self.record_limit):
+                self.counters["trace.records.dropped"] += 1
             self.records.append(TraceRecord(time, category, detail or {}))
         for sink in self._sinks:
             sink(time, category, detail, size)

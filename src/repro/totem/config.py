@@ -54,6 +54,35 @@ class TotemConfig:
             storm (the campaign-sweep seed-5 blowup) into a prompt,
             attributable failure instead of minutes of silent churn.
             ``None`` (the default) never trips; the counter still counts.
+        pipelining: overlap ordering with delivery (default off; requires
+            ``wire_codec`` and ``batching``).  A pipelined token visit
+            flushes the *whole* send queue as one framed batch (batching
+            across invocations, not capped by ``window``), inserts and
+            delivers the sender's own messages the moment their sequence
+            numbers are settled (instead of waiting for the loopback
+            self-delivery), forwards the token *before* broadcasting the
+            data batch and with zero hold (the token never queues behind
+            payload serialization), and gives first-seen sequence gaps a
+            one-visit grace before requesting retransmission (the token
+            now outruns in-flight data by design).  The grace also ends
+            the default path's spurious rebroadcast of every fresh
+            message -- the sender's own seqs are in its store before the
+            rtr scan runs.  Off, the token visit is byte-identical to
+            the pre-pipelining protocol.
+        join_damping: damp membership-broadcast fan-out during prolonged
+            churn (default on).  The first ``join_burst`` Join sends of a
+            gather phase broadcast exactly as before -- quiet ring
+            formations never notice.  Beyond the burst, Join sends are
+            paced at least ``join_min_spacing`` apart (excess triggers
+            one deferred, coalesced resend) and all but every
+            ``join_discovery_period``-th are unicast to the known
+            candidate set instead of broadcast, so a churn storm stops
+            hammering every co-hosted ring's endpoint while discovery
+            (the periodic broadcast share) still works.
+        join_burst: Join sends per gather phase before damping engages.
+        join_min_spacing: minimum seconds between damped Join sends.
+        join_discovery_period: every Nth damped Join send is still a
+            broadcast (merge/discovery traffic); the rest are unicast.
     """
 
     def __init__(
@@ -73,6 +102,11 @@ class TotemConfig:
         wire_codec=True,
         batching=True,
         retransmit_budget=None,
+        pipelining=False,
+        join_damping=True,
+        join_burst=16,
+        join_min_spacing=2.5e-3,
+        join_discovery_period=4,
     ):
         self.token_hold = token_hold
         self.token_retransmit_timeout = token_retransmit_timeout
@@ -89,6 +123,11 @@ class TotemConfig:
         self.wire_codec = wire_codec
         self.batching = batching
         self.retransmit_budget = retransmit_budget
+        self.pipelining = pipelining
+        self.join_damping = join_damping
+        self.join_burst = join_burst
+        self.join_min_spacing = join_min_spacing
+        self.join_discovery_period = join_discovery_period
 
     def copy(self, **overrides):
         """A copy of this config with selected fields replaced."""

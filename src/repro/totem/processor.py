@@ -28,8 +28,10 @@ from repro.totem.events import (
 from repro.totem.messages import (
     CommitToken,
     DataMessage,
+    EagerData,
     JoinMessage,
     MemberInfo,
+    OrderStub,
     RecoveryDone,
     RecoveryRequest,
     RingBeacon,
@@ -53,6 +55,10 @@ class _RingStore:
         self.high_seq = 0        # highest sequence number seen
         self.safe_seq = 0        # all members known to have 1..safe_seq
         self.delivered_upto = 0  # delivery pointer
+        # seq -> encoded retransmit frame: a message re-broadcast in
+        # answer to rtr/recovery requests is encoded once and the bytes
+        # reused for every further request (encode-once contract).
+        self.retransmit_cache = {}
 
     def insert(self, msg):
         """Store a message; returns True if it was new."""
@@ -77,6 +83,9 @@ class _RingStore:
         limit = min(self.safe_seq, self.delivered_upto)
         for seq in [s for s in self.received if s <= limit]:
             del self.received[seq]
+        if self.retransmit_cache:
+            for seq in [s for s in self.retransmit_cache if s <= limit]:
+                del self.retransmit_cache[seq]
 
 
 class TotemProcessor:
@@ -110,6 +119,23 @@ class TotemProcessor:
         self.ring_id = ring_id
         self._mux = mux
         self.state = "down"
+        # Exact-type handler table: dispatch is one dict hit instead of a
+        # seven-way isinstance chain (message classes are final).
+        self._handlers = {
+            DataMessage: self._handle_data,
+            Token: self._handle_token,
+            JoinMessage: self._handle_join,
+            CommitToken: self._handle_commit,
+            RecoveryRequest: self._handle_recovery_request,
+            RecoveryDone: self._handle_recovery_done,
+            RingBeacon: self._handle_beacon,
+            EagerData: self._handle_eager,
+            OrderStub: self._handle_order_stub,
+        }
+        self._counters = {}
+        # Eager-dissemination ids are never reset: uniqueness per sender
+        # must survive ring changes so stale buffers cannot alias.
+        self._eager_next_id = 0
         self._reset_state()
         if mux is not None:
             mux.register(ring_id, self._on_frames)
@@ -143,7 +169,27 @@ class TotemProcessor:
         """
         if guarantee not in ("agreed", "safe"):
             raise ValueError("guarantee must be 'agreed' or 'safe'")
-        self.send_queue.append((payload, size, guarantee, span))
+        config = self.config
+        if config.pipelining and config.wire_codec and config.batching:
+            # Pipelined data path: disseminate the payload bytes NOW, so
+            # serialization and transit overlap the wait for the token;
+            # the token visit later settles the order with a tiny stub.
+            # Queue entries carry the (ring, eager_id) the payload was
+            # disseminated under -- None falls back to a full frame.
+            eager = None
+            if self.state == "operational":
+                self._eager_next_id += 1
+                eager_msg = EagerData(self.ring, self.node_id,
+                                      self._eager_next_id, payload, size,
+                                      guarantee, span=span)
+                data = wire_encode(eager_msg, ring=self.ring_id)
+                self.ep.broadcast(PORT, data, size=len(data),
+                                  include_self=False)
+                self._count("totem.pipeline.eager")
+                eager = (self.ring, self._eager_next_id)
+            self.send_queue.append((payload, size, guarantee, span, eager))
+        else:
+            self.send_queue.append((payload, size, guarantee, span))
         if span is not None:
             telemetry = getattr(self.ep, "telemetry", None)
             if telemetry is not None:
@@ -190,12 +236,22 @@ class TotemProcessor:
         self.last_token_id = 0
         # Token retransmission bookkeeping.
         self._forwarded_token = None
+        self._forwarded_token_data = None
         self._parked_token = None
         self._token_retransmits = 0
         self._progress_seen = False
         self._retransmit_timer = None
         self._loss_timer = None
         self._beacon_timer = None
+        self._beacon_cache = None
+        # Pipelining: sequence gaps seen at the previous token visit (a
+        # first-seen gap gets one visit of grace before it becomes an
+        # rtr entry -- in-flight data may still be arriving).
+        self._rtr_pending = set()
+        # Eager dissemination: payloads received ahead of their sequence
+        # numbers, and stub entries whose payload has not arrived yet.
+        self._eager_buffer = {}    # (sender, eager_id) -> EagerData
+        self._pending_stubs = {}   # seq -> (sender, eager_id)
         # Membership state.
         self.proc_set = set()
         self.fail_set = set()
@@ -203,11 +259,18 @@ class TotemProcessor:
         self._singleton_allowed = False
         self._join_timer = None
         self._consensus_timer = None
+        # Join damping / encode-once bookkeeping (per gather phase).
+        self._join_sends = 0
+        self._join_damped_sends = 0
+        self._last_join_time = None
+        self._join_deferred = None
+        self._join_cache = None
         # Commit / recovery state.
         self.pending_ring = None
         self.pending_store = None
         self._consensus_fail_set = frozenset()
         self._commit_sent = None
+        self._commit_data = None
         self._commit_retransmits = 0
         self._commit_progress = False
         self._commit_timer = None
@@ -231,9 +294,11 @@ class TotemProcessor:
             self._commit_timer,
             self._commit_retry_timer,
             self._recovery_timer,
+            self._join_deferred,
         ):
             if timer is not None:
                 timer.cancel()
+        self._join_deferred = None
         self._retransmit_timer = None
         self._loss_timer = None
         self._beacon_timer = None
@@ -299,20 +364,20 @@ class TotemProcessor:
             self._dispatch(src, payload)
 
     def _dispatch(self, src, payload):
-        if isinstance(payload, DataMessage):
-            self._handle_data(src, payload)
-        elif isinstance(payload, Token):
-            self._handle_token(src, payload)
-        elif isinstance(payload, JoinMessage):
-            self._handle_join(src, payload)
-        elif isinstance(payload, CommitToken):
-            self._handle_commit(src, payload)
-        elif isinstance(payload, RecoveryRequest):
-            self._handle_recovery_request(src, payload)
-        elif isinstance(payload, RecoveryDone):
-            self._handle_recovery_done(src, payload)
-        elif isinstance(payload, RingBeacon):
-            self._handle_beacon(src, payload)
+        handler = self._handlers.get(type(payload))
+        if handler is not None:
+            handler(src, payload)
+
+    def _count(self, name, n=1):
+        """Bump a telemetry counter, caching the metric object per name."""
+        counter = self._counters.get(name)
+        if counter is None:
+            telemetry = getattr(self.ep, "telemetry", None)
+            if telemetry is None:
+                return
+            counter = telemetry.metrics.counter(name)
+            self._counters[name] = counter
+        counter.inc(n)
 
     def _broadcast(self, message, size):
         """Broadcast one protocol message.
@@ -354,6 +419,24 @@ class TotemProcessor:
         else:
             self.ep.send(dst, PORT, message, size=size)
 
+    def _rebroadcast(self, store, msg):
+        """Re-broadcast a stored message in answer to an rtr/recovery
+        request, reusing the cached retransmit encoding when one exists
+        (the bytes are receiver-independent, so each sequence number is
+        encoded at most once per store no matter how often it is
+        re-requested)."""
+        if not self.config.wire_codec:
+            self.ep.broadcast(PORT, msg.copy_for_retransmit(), size=msg.size)
+            return
+        data = store.retransmit_cache.get(msg.seq) if store is not None else None
+        if data is None:
+            data = wire_encode(msg.copy_for_retransmit(), ring=self.ring_id)
+            if store is not None:
+                store.retransmit_cache[msg.seq] = data
+        else:
+            self._count("wire.encode.cached")
+        self.ep.broadcast(PORT, data, size=len(data))
+
     # ------------------------------------------------------------------
     # Operational phase: data messages
     # ------------------------------------------------------------------
@@ -361,6 +444,9 @@ class TotemProcessor:
     def _handle_data(self, src, msg):
         if self.state == "operational" and msg.ring == self.ring:
             self._note_progress()
+            # A self-contained copy supersedes any stub still waiting for
+            # its eagerly-disseminated payload (rtr recovery path).
+            self._pending_stubs.pop(msg.seq, None)
             if self.store.insert(msg):
                 self.ep.emit(
                     "totem.data.stored",
@@ -438,6 +524,58 @@ class TotemProcessor:
         )
 
     # ------------------------------------------------------------------
+    # Operational phase: eager dissemination (pipelined data path)
+    # ------------------------------------------------------------------
+
+    def _eager_store(self, seq, eager):
+        """Sequence an eagerly-received payload into the ring store."""
+        msg = DataMessage(eager.ring, seq, eager.sender, eager.payload,
+                          eager.size, eager.guarantee, span=eager.span)
+        if self.store.insert(msg):
+            self.ep.emit(
+                "totem.data.stored",
+                {"node": self.node_id, "seq": seq, "ring_id": self.ring_id},
+            )
+
+    def _handle_eager(self, src, msg):
+        if self.state != "operational" or msg.ring != self.ring:
+            return
+        self._note_progress()
+        key = (msg.sender, msg.eager_id)
+        # A stub may already be waiting on this payload (frame reorder or
+        # a dropped-and-resent eager): complete it in place.
+        for seq, pending in list(self._pending_stubs.items()):
+            if pending == key:
+                del self._pending_stubs[seq]
+                self._eager_store(seq, msg)
+                self._try_deliver(self.store)
+                return
+        self._eager_buffer[key] = msg
+        # Orphans (cancelled duplicates, senders that died before their
+        # token visit) must not accumulate: cap and evict oldest.
+        cap = max(64, 4 * self.config.window)
+        while len(self._eager_buffer) > cap:
+            del self._eager_buffer[next(iter(self._eager_buffer))]
+
+    def _handle_order_stub(self, src, stub):
+        if self.state != "operational" or stub.ring != self.ring:
+            return
+        self._note_progress()
+        store = self.store
+        for seq, sender, eager_id in stub.entries:
+            if store.has(seq):
+                continue
+            eager = self._eager_buffer.pop((sender, eager_id), None)
+            if eager is None:
+                # Payload still in flight (or lost): leave a sequence gap
+                # for the rtr machinery and finish when it shows up.
+                self._pending_stubs[seq] = (sender, eager_id)
+                self._count("totem.pipeline.stub_wait")
+                continue
+            self._eager_store(seq, eager)
+        self._try_deliver(store)
+
+    # ------------------------------------------------------------------
     # Operational phase: the token
     # ------------------------------------------------------------------
 
@@ -463,8 +601,12 @@ class TotemProcessor:
             msg = store.received.get(seq)
             if msg is not None:
                 self._charge_retransmit()
-                self._broadcast(msg.copy_for_retransmit(), msg.size)
+                self._rebroadcast(store, msg)
                 token.rtr.discard(seq)
+
+        if config.pipelining and config.wire_codec and config.batching:
+            self._pipelined_token_visit(token, store, config)
+            return
 
         # 2. Broadcast queued messages, consuming sequence numbers.  With
         # batching on, every message of this token visit is coalesced into
@@ -515,6 +657,109 @@ class TotemProcessor:
         # 5. Forward to the successor.
         self._forward_token(token)
 
+    def _pipelined_token_visit(self, token, store, config):
+        """One pipelined token visit: flush everything, data first.
+
+        Ordering overlaps with delivery: the sender's own messages'
+        sequence numbers are settled the moment they are drawn from the
+        token, so they are inserted into the store (and agreed ones
+        delivered) right here instead of waiting for the loopback
+        self-delivery of the broadcast.  The *whole* send queue is
+        flushed -- batching across invocations, not capped by the
+        flow-control window (each broadcast datagram still carries at
+        most ``window`` messages so real-socket MTU limits hold) -- then
+        the token is released with zero hold.
+
+        A sequence gap seen for the first time may still be in flight
+        (drops, recovery edges): it gets one visit
+        of grace before becoming an rtr entry.  That grace (plus the
+        immediate self-insert) also removes the default path's spurious
+        rebroadcast of every fresh message, where the sender's own seqs
+        were never in its store when the rtr scan ran.
+        """
+        telemetry = getattr(self.ep, "telemetry", None)
+        base_seq = token.seq
+        batch = []
+        stub_entries = []
+        fresh = []
+        for _ in range(len(self.send_queue)):  # snapshot: deliveries enqueue
+            payload, size, guarantee, span, eager = self.send_queue.pop(0)
+            token.seq += 1
+            msg = DataMessage(self.ring, token.seq, self.node_id, payload,
+                              size, guarantee, span=span)
+            if span is not None and telemetry is not None:
+                telemetry.span_mark(span, "sent", self.ep.now)
+            if eager is not None and eager[0] == self.ring:
+                # Payload already disseminated on this ring: order it with
+                # a stub entry instead of re-sending the bytes.
+                stub_entries.append((token.seq, self.node_id, eager[1]))
+            else:
+                batch.append(wire_encode(msg, ring=self.ring_id))
+            fresh.append(msg)
+
+        # Request retransmission only of gaps that survived a full visit.
+        missing = set()
+        for seq in range(store.my_aru + 1, base_seq + 1):
+            if seq not in store.received:
+                missing.add(seq)
+        for seq in missing & self._rtr_pending:
+            token.rtr.add(seq)
+        self._rtr_pending = missing - token.rtr
+
+        # Our own messages are ordered now: store them before the token
+        # leaves so rtr requests for them can be served next visit.
+        for msg in fresh:
+            store.insert(msg)
+
+        # Safe-delivery accounting (same rule as the default path;
+        # my_aru already includes the messages flushed this visit).
+        if self.node_id == self.ring.representative:
+            token.safe_seq = max(token.safe_seq, token.rotation_min)
+            token.rotation_min = store.my_aru
+        else:
+            token.rotation_min = min(token.rotation_min, store.my_aru)
+        if token.safe_seq > store.safe_seq:
+            store.safe_seq = token.safe_seq
+
+        # Data first, then the token: the broadcast frames reach every
+        # receiver before the token finishes even one hop, so downstream
+        # nodes hold the ordered messages by the time the token visits
+        # them and can flush their own responses on the *same* rotation.
+        # (Releasing the token first looks cheaper -- it never waits
+        # behind payload serialization -- but then the token outruns its
+        # data by a hop and every reply waits a full extra rotation.)
+        # Stubs go out first: they are a few bytes and they complete the
+        # eager payloads most receivers already buffered.
+        window = max(1, config.window)
+        if stub_entries:
+            for start in range(0, len(stub_entries), window):
+                chunk = stub_entries[start:start + window]
+                data = wire_encode(OrderStub(self.ring, chunk),
+                                   ring=self.ring_id)
+                self.ep.broadcast(PORT, data, size=len(data),
+                                  include_self=False)
+            self._count("totem.pipeline.stub", len(stub_entries))
+        if batch:
+            for start in range(0, len(batch), window):
+                chunk = batch[start:start + window]
+                data = (chunk[0] if len(chunk) == 1
+                        else encode_batch(chunk, ring=self.ring_id))
+                if len(chunk) > 1:
+                    self.ep.emit(
+                        "totem.batch",
+                        {"node": self.node_id, "n": len(chunk),
+                         "ring_id": self.ring_id},
+                        len(data),
+                    )
+                self.ep.broadcast(PORT, data, size=len(data),
+                                  include_self=False)
+        if fresh:
+            self._count("totem.pipeline.flush")
+            self._count("totem.pipeline.batched", len(fresh))
+        self._forward_token(token)
+        self._try_deliver(store)
+        store.collect_garbage()
+
     def _forward_token(self, token):
         token.token_id += 1
         successor = self.ring.successor_of(self.node_id)
@@ -522,20 +767,33 @@ class TotemProcessor:
         # receives, so retransmissions must come from our own copy.
         snapshot = token.copy()
         self._forwarded_token = snapshot
+        self._forwarded_token_data = None
         self._token_retransmits = 0
         self._progress_seen = False
         ring = self.ring
-        size = self.config.max_message_bytes + 8 * len(token.rtr)
+        config = self.config
+        size = config.max_message_bytes + 8 * len(token.rtr)
         if successor == self.node_id:
             self._park_singleton_token(ring, snapshot)
+            return
+        if config.wire_codec:
+            # Encode once: the scheduled forward and any retransmissions
+            # all send these same bytes (the snapshot never mutates).
+            data = wire_encode(snapshot, ring=self.ring_id)
+            self._forwarded_token_data = data
+
+            def forward():
+                self.ep.send(successor, PORT, data, size=len(data))
         else:
-            self.ep.timer(
-                self.config.token_hold,
-                lambda: self._unicast(successor, snapshot.copy(), size),
-                "token.forward",
-            )
-            self._arm_token_retransmit(ring, successor, size)
-            self._arm_loss_timer()
+            def forward():
+                self._unicast(successor, snapshot.copy(), size)
+        if config.pipelining:
+            # Zero hold: the successor's visit overlaps our delivery work.
+            forward()
+        else:
+            self.ep.timer(config.token_hold, forward, "token.forward")
+        self._arm_token_retransmit(ring, successor, size)
+        self._arm_loss_timer()
 
     def _park_singleton_token(self, ring, token):
         """On a singleton ring the token idles until there is work.
@@ -558,7 +816,8 @@ class TotemProcessor:
                     self._try_deliver(store)
                     store.collect_garbage()
 
-        self.ep.timer(self.config.token_hold, flush, "token.singleton.flush")
+        hold = 0.0 if self.config.pipelining else self.config.token_hold
+        self.ep.timer(hold, flush, "token.singleton.flush")
 
     def _unpark_token(self):
         token = self._parked_token
@@ -586,7 +845,12 @@ class TotemProcessor:
                 "totem.token.retransmit",
                 {"node": self.node_id, "ring_id": self.ring_id},
             )
-            self._unicast(successor, self._forwarded_token.copy(), size)
+            data = self._forwarded_token_data
+            if data is not None:
+                self._count("wire.encode.cached")
+                self.ep.send(successor, PORT, data, size=len(data))
+            else:
+                self._unicast(successor, self._forwarded_token.copy(), size)
             self._retransmit_timer = self.ep.timer(
                 self.config.token_retransmit_timeout, retransmit, "token.retry"
             )
@@ -642,7 +906,21 @@ class TotemProcessor:
         def beat():
             if self.state != "operational" or self.ring != ring:
                 return
-            self._broadcast(RingBeacon(ring, self.node_id), self.config.max_message_bytes)
+            # Encode-once: the beacon is identical every beat of a ring.
+            if self.config.wire_codec:
+                cached = self._beacon_cache
+                if cached is not None and cached[0] == ring:
+                    data = cached[1]
+                    self._count("wire.encode.cached")
+                else:
+                    data = wire_encode(
+                        RingBeacon(ring, self.node_id), ring=self.ring_id)
+                    self._beacon_cache = (ring, data)
+                self.ep.broadcast(PORT, data, size=len(data))
+            else:
+                self._broadcast(
+                    RingBeacon(ring, self.node_id),
+                    self.config.max_message_bytes)
             self._arm_beacon_timer()
 
         self._beacon_timer = self.ep.timer(
@@ -670,6 +948,11 @@ class TotemProcessor:
             self.max_ring_seq = max(self.max_ring_seq, self.ring.seq)
         self.fail_set = set()
         self.joins = {}
+        # Fresh damping budget: each gather phase may burst-broadcast
+        # before pacing engages (quiet formations never exceed it).
+        self._join_sends = 0
+        self._join_damped_sends = 0
+        self._last_join_time = None
         self.pending_ring = None
         self.pending_store = None
         self._stashed_token = None
@@ -688,10 +971,94 @@ class TotemProcessor:
         return JoinMessage(self.node_id, self.proc_set, self.fail_set, self.max_ring_seq)
 
     def _broadcast_join(self):
+        """Send our Join, damping fan-out during prolonged churn.
+
+        The first ``join_burst`` sends of a gather phase broadcast
+        exactly as the protocol always has -- quiet ring formations are
+        untouched.  Beyond the burst (a churn storm: Join cascades feed
+        on each other and, with co-hosted rings, hammer every ring's
+        endpoint), sends are paced at least ``join_min_spacing`` apart
+        -- excess calls coalesce into one deferred resend carrying the
+        latest sets -- and all but every ``join_discovery_period``-th
+        are unicast to the candidate set instead of broadcast, keeping
+        membership traffic ring-local while the periodic broadcast share
+        still serves discovery.
+        """
         join = self._own_join()
         self.joins[self.node_id] = join
-        size = self.config.max_message_bytes + 8 * (len(join.proc_set) + len(join.fail_set))
-        self._broadcast(join, size)
+        size = self.config.max_message_bytes + 8 * (
+            len(join.proc_set) + len(join.fail_set))
+        config = self.config
+        if not (config.join_damping and self.state == "gather"):
+            self._send_join(join, size, broadcast=True)
+            return
+        self._join_sends += 1
+        if self._join_sends <= config.join_burst:
+            self._send_join(join, size, broadcast=True)
+            return
+        now = self.ep.now
+        last = self._last_join_time
+        if last is not None and now - last < config.join_min_spacing:
+            self._count("totem.join.damped")
+            if self._join_deferred is None:
+                self._join_deferred = self.ep.timer(
+                    last + config.join_min_spacing - now,
+                    self._flush_deferred_join,
+                    "join.deferred",
+                )
+            return
+        self._damped_join_send(join, size)
+
+    def _flush_deferred_join(self):
+        """The coalesced resend: fires once the spacing has elapsed and
+        sends unconditionally (re-checking the spacing here would spin on
+        float rounding), carrying the *latest* membership sets."""
+        self._join_deferred = None
+        if self.state != "gather":
+            return
+        join = self._own_join()
+        self.joins[self.node_id] = join
+        size = self.config.max_message_bytes + 8 * (
+            len(join.proc_set) + len(join.fail_set))
+        self._damped_join_send(join, size)
+
+    def _damped_join_send(self, join, size):
+        self._join_damped_sends += 1
+        if self._join_damped_sends % self.config.join_discovery_period == 0:
+            self._send_join(join, size, broadcast=True)
+        else:
+            self._count("totem.join.unicast")
+            self._send_join(join, size, broadcast=False)
+
+    def _send_join(self, join, size, broadcast):
+        self._last_join_time = self.ep.now
+        if not self.config.wire_codec:
+            if broadcast:
+                self.ep.broadcast(PORT, join, size=size)
+            else:
+                for peer in self._join_unicast_peers():
+                    self.ep.send(peer, PORT, join, size=size)
+            return
+        # Encode-once: periodic rebroadcasts of an unchanged Join (the
+        # common case while waiting out a consensus round) reuse the
+        # cached frame.
+        key = (join.proc_set, join.fail_set, join.max_ring_seq)
+        cached = self._join_cache
+        if cached is not None and cached[0] == key:
+            data = cached[1]
+            self._count("wire.encode.cached")
+        else:
+            data = wire_encode(join, ring=self.ring_id)
+            self._join_cache = (key, data)
+        if broadcast:
+            self.ep.broadcast(PORT, data, size=len(data))
+        else:
+            for peer in self._join_unicast_peers():
+                self.ep.send(peer, PORT, data, size=len(data))
+
+    def _join_unicast_peers(self):
+        """Damped-regime targets: live candidates we already know about."""
+        return sorted(self.proc_set - self.fail_set - {self.node_id})
 
     def _arm_join_timer(self):
         def periodic():
@@ -863,7 +1230,14 @@ class TotemProcessor:
         self._commit_sent = (successor, token.copy(), size)
         self._commit_retransmits = 0
         self._commit_progress = False
-        self._unicast(successor, token, size)
+        if self.config.wire_codec:
+            # Encode once; retries resend the same bytes.
+            data = wire_encode(token, ring=self.ring_id)
+            self._commit_data = data
+            self.ep.send(successor, PORT, data, size=len(data))
+        else:
+            self._commit_data = None
+            self._unicast(successor, token, size)
         self._arm_commit_retry()
 
     def _arm_commit_retry(self):
@@ -885,7 +1259,12 @@ class TotemProcessor:
                 "totem.commit.retransmit",
                 {"node": self.node_id, "ring_id": self.ring_id},
             )
-            self._unicast(successor, token.copy(), size)
+            data = self._commit_data
+            if data is not None:
+                self._count("wire.encode.cached")
+                self.ep.send(successor, PORT, data, size=len(data))
+            else:
+                self._unicast(successor, token.copy(), size)
             self._arm_commit_retry()
 
         self._commit_retry_timer = self.ep.timer(
@@ -1002,8 +1381,7 @@ class TotemProcessor:
             holders = [info.member for info in group if self._info_has(info, seq)]
             if holders and min(holders) == self.node_id and seq in store.received:
                 self._charge_retransmit()
-                msg = store.received[seq].copy_for_retransmit()
-                self._broadcast(msg, msg.size)
+                self._rebroadcast(store, store.received[seq])
 
     def _missing_seqs(self):
         store = self._old_store
@@ -1052,7 +1430,7 @@ class TotemProcessor:
             msg = store.received.get(seq)
             if msg is not None:
                 self._charge_retransmit()
-                self._broadcast(msg.copy_for_retransmit(), msg.size)
+                self._rebroadcast(store, msg)
 
     def _handle_recovery_done(self, src, done):
         self._done_received.setdefault(done.new_ring_key, set()).add(src)

@@ -36,6 +36,8 @@ KIND_TOTEM_JOIN = 0x13
 KIND_TOTEM_COMMIT = 0x14
 KIND_TOTEM_RECOVERY_REQUEST = 0x15
 KIND_TOTEM_RECOVERY_DONE = 0x16
+KIND_TOTEM_EAGER = 0x17
+KIND_TOTEM_ORDER = 0x18
 
 # ORB transport segments (0x20--0x2F).
 KIND_TCP_SYN = 0x20
@@ -95,16 +97,27 @@ _DECODE_ERRORS = (
 )
 
 
+def encode_body(message):
+    """Encode one registered message object's *body*; returns bytes.
+
+    The encode-once half of :func:`encode`: a multicast payload's body is
+    independent of the receiver and of the frame header, so callers that
+    reuse an encoding (retransmission caches, Join rebroadcasts, token
+    resends) pre-encode the body once and frame it per send -- or cache
+    the full :func:`encode` output when the ring id is fixed too.
+    """
+    enc = CdrEncoder()
+    message.encode_wire(enc)
+    return enc.getvalue()
+
+
 def encode(message, ring=0):
     """Encode one registered message object into a framed byte string.
 
     ``ring`` stamps the frame header's ring id (see
     :mod:`repro.wire.framing`); ringless traffic leaves it at 0.
     """
-    kind = kind_of(message)
-    enc = CdrEncoder()
-    message.encode_wire(enc)
-    return encode_frame(kind, enc.getvalue(), ring=ring)
+    return encode_frame(kind_of(message), encode_body(message), ring=ring)
 
 
 def _decode_body(frame):

@@ -228,6 +228,38 @@ def test_trace_snapshot_copies_byte_counters():
     assert snapshot == {"net.send": 1}
 
 
+def test_trace_record_retention_cap():
+    trace = TraceLog(keep_records=True, record_limit=5)
+    for i in range(8):
+        trace.emit(float(i), "net.send", {"i": i})
+    # The newest five records are retained, oldest evicted first.
+    assert len(trace.records) == 5
+    assert [r.detail["i"] for r in trace.records] == [3, 4, 5, 6, 7]
+    assert trace.records_dropped == 3
+    assert trace.count("trace.records.dropped") == 3
+    # Counters still see every event: eviction only trims retention.
+    assert trace.count("net.send") == 8
+
+
+def test_trace_record_limit_validation_and_default():
+    with pytest.raises(ValueError):
+        TraceLog(keep_records=True, record_limit=0)
+    unbounded = TraceLog(keep_records=True)
+    assert unbounded.record_limit is None and unbounded.records_dropped == 0
+
+
+def test_sim_runtime_caps_retained_trace_records():
+    from repro.runtime.sim import SimRuntime
+
+    capped = SimRuntime(seed=0, keep_trace_records=True)
+    assert capped.trace.record_limit == SimRuntime.TRACE_RECORD_LIMIT
+    explicit = SimRuntime(seed=0, keep_trace_records=True,
+                          trace_record_limit=10)
+    assert explicit.trace.record_limit == 10
+    plain = SimRuntime(seed=0)
+    assert plain.trace.record_limit is None
+
+
 def test_telemetry_summary_and_formatting():
     trace = TraceLog()
     telemetry = Telemetry(trace)

@@ -22,8 +22,10 @@ from repro.state.transfer import StateChunk, StateImage
 from repro.totem.messages import (
     CommitToken,
     DataMessage,
+    EagerData,
     JoinMessage,
     MemberInfo,
+    OrderStub,
     RecoveryDone,
     RecoveryRequest,
     RingBeacon,
@@ -111,6 +113,23 @@ def _strategies():
             rtr=st.sets(ulong, max_size=6),
             rotation_min=ulong,
             safe_seq=ulong,
+        ),
+        EagerData: st.builds(
+            EagerData,
+            ring=ring_id,
+            sender=node_id,
+            eager_id=ulong,
+            payload=value,
+            size=st.integers(min_value=0, max_value=256),
+            guarantee=st.sampled_from(["agreed", "safe"]),
+            span=st.one_of(st.none(), st.text(max_size=24)),
+        ),
+        OrderStub: st.builds(
+            OrderStub,
+            ring=ring_id,
+            entries=st.lists(
+                st.tuples(ulong, node_id, ulong), max_size=6
+            ),
         ),
         RingBeacon: st.builds(RingBeacon, ring=ring_id, sender=node_id),
         JoinMessage: st.builds(
